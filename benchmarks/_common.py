@@ -1,0 +1,106 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_fig*.py`` file regenerates one figure of the paper's evaluation:
+it sweeps the same parameters, prints the same rows/series the figure
+reports, and lets pytest-benchmark time the underlying simulation.  The
+helpers here keep the individual benchmarks short and consistent.
+
+Packet counts are deliberately smaller than the paper's (which used 100-500
+packets per point measured over hours in real water) so that the whole
+benchmark suite completes in minutes; the trends are stable at these counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.metrics import format_table
+from repro.channel.motion import MotionModel, STATIC_MOTION
+from repro.core.baselines import FixedBandScheme
+from repro.core.modem import AquaModem
+from repro.devices.case import SOFT_POUCH, WaterproofCase
+from repro.devices.models import GALAXY_S9, DeviceModel
+from repro.environments.factory import build_link_pair
+from repro.environments.sites import Site
+from repro.link.session import LinkSession, LinkStatistics
+
+#: Default number of packets per configuration point.
+DEFAULT_PACKETS = 25
+
+#: Percentiles printed for bitrate CDFs.
+CDF_PERCENTILES = (10, 25, 50, 75, 90)
+
+
+def run_link(
+    site: Site,
+    distance_m: float,
+    scheme: FixedBandScheme | str = "adaptive",
+    num_packets: int = DEFAULT_PACKETS,
+    seed: int = 0,
+    motion: MotionModel = STATIC_MOTION,
+    tx_depth_m: float = 1.0,
+    rx_depth_m: float | None = None,
+    orientation_deg: float = 0.0,
+    tx_device: DeviceModel = GALAXY_S9,
+    rx_device: DeviceModel = GALAXY_S9,
+    case: WaterproofCase = SOFT_POUCH,
+    modem: AquaModem | None = None,
+) -> LinkStatistics:
+    """Run one experiment point and return its link statistics."""
+    forward, backward = build_link_pair(
+        site=site,
+        distance_m=distance_m,
+        seed=seed,
+        tx_depth_m=tx_depth_m,
+        rx_depth_m=rx_depth_m,
+        motion=motion,
+        orientation_deg=orientation_deg,
+        tx_device=tx_device,
+        rx_device=rx_device,
+        tx_case=case,
+        rx_case=case,
+    )
+    session = LinkSession(forward, backward, modem=modem, scheme=scheme, seed=seed + 1)
+    return session.run_many(num_packets)
+
+
+def scheme_label(scheme: FixedBandScheme | str) -> str:
+    """Human-readable label for a scheme."""
+    return "adaptive (ours)" if isinstance(scheme, str) else scheme.name
+
+
+def cdf_row(values: np.ndarray) -> list[str]:
+    """Return formatted percentile values for a bitrate CDF row."""
+    if values.size == 0:
+        return ["n/a"] * len(CDF_PERCENTILES)
+    return [f"{np.percentile(values, p):.0f}" for p in CDF_PERCENTILES]
+
+
+#: All figure tables produced during this benchmark session, in order.  The
+#: conftest terminal-summary hook prints them after the timing table so they
+#: appear in ``bench_output.txt`` even though pytest captures per-test stdout,
+#: and they are also written to ``benchmarks/results/figure_tables.txt``.
+FIGURE_TABLES: list[str] = []
+
+
+def print_figure(title: str, headers: list[str], rows: list[list[object]], notes: str = "") -> str:
+    """Print a figure table and return it as a string (for extra_info)."""
+    table = format_table(headers, rows)
+    banner = "=" * len(title)
+    text = f"\n{title}\n{banner}\n{table}\n"
+    if notes:
+        text += f"{notes}\n"
+    print(text)
+    FIGURE_TABLES.append(text)
+    _append_to_results_file(text)
+    return text
+
+
+def _append_to_results_file(text: str) -> None:
+    """Append a figure table to the persistent results file."""
+    import pathlib
+
+    results_dir = pathlib.Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    with open(results_dir / "figure_tables.txt", "a", encoding="utf-8") as handle:
+        handle.write(text)

@@ -1,0 +1,102 @@
+"""Fig. 8 -- per-subcarrier BER versus SNR, compared with theoretical BPSK.
+
+The paper transmits 500 BPSK-modulated OFDM symbols over the full 1-4 kHz
+band at 5, 10 and 20 m, computes the uncoded BER of each subcarrier as a
+function of that subcarrier's SNR, and shows that the empirical curve
+follows the theoretical BPSK curve.
+
+The benchmark does the same over the simulated bridge channel: long bursts
+of known coded bits are sent on all 60 subcarriers (interleaving disabled so
+each coded bit maps to a fixed subcarrier), per-subcarrier SNR is estimated
+from the preamble, and the measured BER is bucketed by SNR and compared
+against ``Q(sqrt(2*SNR))``.
+"""
+
+import numpy as np
+
+from benchmarks._common import print_figure
+from repro.analysis.ber import bpsk_ber_theoretical
+from repro.core.adaptation import selection_from_bins
+from repro.core.modem import AquaModem
+from repro.environments.factory import build_link_pair
+from repro.environments.sites import BRIDGE
+
+PAYLOAD_BITS = 640            # -> 960 coded bits = 16 OFDM symbols over 60 bins
+PACKETS_PER_DISTANCE = 4
+DISTANCES_M = (5.0, 10.0, 20.0)
+SNR_BUCKETS_DB = np.array([-2.0, 0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0])
+
+
+def _collect_samples():
+    """Return arrays of (per-bin SNR, per-bin errors, per-bin bits)."""
+    modem = AquaModem(use_interleaving=False)
+    config = modem.ofdm_config
+    band = selection_from_bins(config.first_data_bin, config.last_data_bin, config)
+    snr_samples, error_samples, bit_samples = [], [], []
+    for d_index, distance in enumerate(DISTANCES_M):
+        forward, _ = build_link_pair(site=BRIDGE, distance_m=distance, seed=500 + d_index)
+        rng = np.random.default_rng(900 + d_index)
+        for packet_index in range(PACKETS_PER_DISTANCE):
+            forward.randomize(rng)
+            payload = rng.integers(0, 2, PAYLOAD_BITS)
+            header = modem.build_preamble_and_header(1)
+            burst = modem.encoder.encode(payload, band)
+            silence = np.zeros(2 * config.extended_symbol_length)
+            waveform = np.concatenate([header.waveform, silence, burst.waveform])
+            received = modem.filter_received(forward.transmit(waveform, rng).samples)
+            detection = modem.detect_preamble(received)
+            if not detection.detected:
+                continue
+            estimate = modem.estimate_snr(received, detection.start_index)
+            data_start = (detection.start_index + modem.preamble_generator.total_length
+                          + config.extended_symbol_length + silence.size)
+            try:
+                decoded = modem.decoder.decode(received[data_start:], band, PAYLOAD_BITS,
+                                               apply_bandpass=False)
+            except ValueError:
+                continue
+            reference = modem.decoder.coded_reference_bits(payload)
+            errors = (decoded.hard_coded_bits != reference).astype(int)
+            # Without interleaving, coded bit i maps to bin (i mod 60).
+            num_bins = band.num_bins
+            per_bin_errors = np.zeros(num_bins)
+            per_bin_bits = np.zeros(num_bins)
+            for i, err in enumerate(errors):
+                per_bin_errors[i % num_bins] += err
+                per_bin_bits[i % num_bins] += 1
+            snr_samples.append(estimate.snr_db)
+            error_samples.append(per_bin_errors)
+            bit_samples.append(per_bin_bits)
+    return (np.concatenate(snr_samples), np.concatenate(error_samples),
+            np.concatenate(bit_samples))
+
+
+def _run():
+    snr, errors, bits = _collect_samples()
+    rows = []
+    for low, high in zip(SNR_BUCKETS_DB[:-1], SNR_BUCKETS_DB[1:]):
+        mask = (snr >= low) & (snr < high)
+        total_bits = bits[mask].sum()
+        if total_bits < 50:
+            continue
+        measured = errors[mask].sum() / total_bits
+        theoretical = float(bpsk_ber_theoretical((low + high) / 2.0))
+        rows.append([f"{low:.0f} to {high:.0f}",
+                     f"{measured:.3f}", f"{theoretical:.3f}", f"{int(total_bits)}"])
+    return rows
+
+
+def test_fig08_ber_vs_snr(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = print_figure(
+        "Fig. 8 -- uncoded BER vs per-subcarrier SNR (bridge, 5/10/20 m)",
+        ["SNR bucket (dB)", "measured BER", "theoretical BPSK BER", "bits"],
+        rows,
+        notes="Paper: the empirical curve follows the theoretical BPSK trend.",
+    )
+    benchmark.extra_info["table"] = table
+    assert len(rows) >= 3, "need several populated SNR buckets"
+    measured = np.array([float(r[1]) for r in rows])
+    # BER must decrease (weakly) as SNR increases, matching the theoretical trend.
+    assert measured[-1] <= measured[0]
+    assert measured[-1] < 0.05, "high-SNR buckets should have low BER"

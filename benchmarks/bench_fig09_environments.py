@@ -1,0 +1,71 @@
+"""Fig. 9 -- effect of different environments (bridge, park, lake) at 5 m.
+
+Panel (a): CDF of the coded bitrate selected by the adaptation algorithm at
+each location.  Panels (b,c): example received spectra with the selected
+band (represented here by the median selected band edges).  Panel (d): PER
+of the adaptive scheme versus the three fixed-bandwidth baselines.
+
+Paper outcome: the selected bitrate varies across (and within) locations,
+the bridge supports the highest rates, and the adaptive scheme keeps the
+PER around 1 % on average while fixed bands suffer at the multipath-heavy
+sites.
+"""
+
+import numpy as np
+
+from benchmarks._common import CDF_PERCENTILES, cdf_row, print_figure, run_link, scheme_label
+from repro.core.baselines import FIXED_BAND_SCHEMES
+from repro.environments.sites import BRIDGE, LAKE, PARK
+
+SITES = (BRIDGE, PARK, LAKE)
+NUM_PACKETS = 25
+
+
+def _run():
+    bitrate_rows, per_rows, band_rows = [], [], []
+    adaptive_pers = {}
+    for i, site in enumerate(SITES):
+        stats = run_link(site, 5.0, "adaptive", NUM_PACKETS, seed=20 + i)
+        adaptive_pers[site.name] = stats.packet_error_rate
+        bitrate_rows.append([site.name] + cdf_row(stats.bitrates_bps))
+        bands = [(r.receiver_band.start_frequency_hz, r.receiver_band.end_frequency_hz)
+                 for r in stats.results if r.receiver_band is not None]
+        if bands:
+            starts, ends = zip(*bands)
+            band_rows.append([site.name, f"{np.median(starts):.0f}", f"{np.median(ends):.0f}"])
+        per_row = [site.name, f"{stats.packet_error_rate:.2f}"]
+        for j, scheme in enumerate(FIXED_BAND_SCHEMES):
+            fixed = run_link(site, 5.0, scheme, NUM_PACKETS, seed=20 + i)
+            per_row.append(f"{fixed.packet_error_rate:.2f}")
+        per_rows.append(per_row)
+    return bitrate_rows, band_rows, per_rows, adaptive_pers
+
+
+def test_fig09_environments(benchmark):
+    bitrate_rows, band_rows, per_rows, adaptive_pers = benchmark.pedantic(
+        _run, rounds=1, iterations=1)
+    table_a = print_figure(
+        "Fig. 9a -- selected coded bitrate CDF at 5 m (bps)",
+        ["site"] + [f"p{p}" for p in CDF_PERCENTILES],
+        bitrate_rows,
+        notes="Paper: bitrates vary across runs and locations; the quiet bridge "
+              "site supports the highest rates.",
+    )
+    table_bc = print_figure(
+        "Fig. 9b/c -- median selected band edges (Hz)",
+        ["site", "f_begin", "f_end"],
+        band_rows,
+    )
+    table_d = print_figure(
+        "Fig. 9d -- packet error rate at 5 m",
+        ["site", "adaptive (ours)"] + [scheme_label(s) for s in FIXED_BAND_SCHEMES],
+        per_rows,
+        notes="Paper: adaptive PER stays ~1 % on average; fixed bands degrade "
+              "with multipath (worst at the lake).",
+    )
+    benchmark.extra_info["table"] = table_a + table_bc + table_d
+    # Shape checks: the adaptive scheme keeps PER low at every site, and the
+    # full-band fixed scheme is never better than adaptive at the lake.
+    assert all(per <= 0.25 for per in adaptive_pers.values())
+    lake_row = [r for r in per_rows if r[0] == "lake"][0]
+    assert float(lake_row[1]) <= float(lake_row[2])

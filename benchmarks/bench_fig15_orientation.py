@@ -1,0 +1,52 @@
+"""Fig. 15 -- effect of phone orientation (bridge, 5 m, 1 m deep).
+
+One phone is rotated in azimuth from 0 to 180 degrees in 45-degree steps.
+The paper reports the median selected bitrate falling from 1067 bps at 0
+degrees to 567 bps at 180 degrees, while the adaptive scheme keeps the PER
+low at all angles (unlike the fixed bands, which degrade at large angles).
+"""
+
+from benchmarks._common import CDF_PERCENTILES, cdf_row, print_figure, run_link, scheme_label
+from repro.core.baselines import FIXED_BAND_SCHEMES
+from repro.environments.sites import BRIDGE
+
+ANGLES_DEG = (0.0, 45.0, 90.0, 135.0, 180.0)
+NUM_PACKETS = 15
+
+
+def _run():
+    bitrate_rows, per_rows = [], []
+    medians, adaptive_pers = {}, {}
+    for i, angle in enumerate(ANGLES_DEG):
+        adaptive = run_link(BRIDGE, 5.0, "adaptive", NUM_PACKETS, seed=150 + i,
+                            orientation_deg=angle)
+        medians[angle] = adaptive.median_bitrate_bps
+        adaptive_pers[angle] = adaptive.packet_error_rate
+        bitrate_rows.append([f"{angle:.0f} deg"] + cdf_row(adaptive.bitrates_bps))
+        row = [f"{angle:.0f} deg", f"{adaptive.packet_error_rate:.2f}"]
+        for scheme in FIXED_BAND_SCHEMES:
+            fixed = run_link(BRIDGE, 5.0, scheme, NUM_PACKETS, seed=150 + i,
+                             orientation_deg=angle)
+            row.append(f"{fixed.packet_error_rate:.2f}")
+        per_rows.append(row)
+    return bitrate_rows, per_rows, medians, adaptive_pers
+
+
+def test_fig15_orientation(benchmark):
+    bitrate_rows, per_rows, medians, adaptive_pers = benchmark.pedantic(
+        _run, rounds=1, iterations=1)
+    table_a = print_figure(
+        "Fig. 15a -- selected coded bitrate CDF vs azimuth offset (bridge, 5 m)",
+        ["azimuth"] + [f"p{p}" for p in CDF_PERCENTILES],
+        bitrate_rows,
+        notes="Paper medians: 1067 bps at 0 degrees down to 567 bps at 180 degrees.",
+    )
+    table_b = print_figure(
+        "Fig. 15b -- PER vs azimuth offset",
+        ["azimuth", "adaptive (ours)"] + [scheme_label(s) for s in FIXED_BAND_SCHEMES],
+        per_rows,
+        notes="Paper: the adaptive scheme keeps a low PER at every orientation.",
+    )
+    benchmark.extra_info["table"] = table_a + table_b
+    assert medians[180.0] <= medians[0.0], "bitrate should drop when devices face away"
+    assert all(per <= 0.35 for per in adaptive_pers.values())

@@ -1,0 +1,49 @@
+"""Section 5 (discussion) -- messaging latency accounting.
+
+The paper argues its bit rates are sufficient for messaging: the app sends
+one of 240 messages (about 8 bits, 12 after coding), which takes roughly
+half a second at 25 bps, and at 1 kbps even a 50-character free-text
+message takes about half a second.  (Battery life is a property of the
+phone hardware and is out of scope for the simulator; see DESIGN.md.)
+
+The benchmark reproduces the latency arithmetic plus the full protocol
+airtime (preamble + feedback + data) for representative selected bands.
+"""
+
+from benchmarks._common import print_figure
+from repro.core.rates import coded_bitrate_bps, message_latency_s, packet_airtime_s
+
+
+def _run():
+    rows = [
+        ["one hand signal (8 bits -> 12 coded) at 25 bps",
+         f"{message_latency_s(12, 25.0):.2f}"],
+        ["one hand signal at 133 bps (30 m median band)",
+         f"{message_latency_s(12, 133.3):.2f}"],
+        ["two hand signals (16 bits -> 24 coded) at 633 bps (5 m median band)",
+         f"{message_latency_s(24, 633.3):.2f}"],
+        ["50-character message (400 bits) at 1 kbps",
+         f"{message_latency_s(400, 1000.0):.2f}"],
+        ["full protocol airtime, 60-bin band (preamble+feedback+data)",
+         f"{packet_airtime_s(16, 60):.2f}"],
+        ["full protocol airtime, 4-bin band",
+         f"{packet_airtime_s(16, 4):.2f}"],
+        ["SoS beacon (6 bits at 10 bps)",
+         f"{message_latency_s(6, 10.0):.2f}"],
+    ]
+    return rows
+
+
+def test_messaging_latency(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = print_figure(
+        "Messaging latency (seconds)",
+        ["scenario", "latency (s)"],
+        rows,
+        notes="Paper: a selected message takes ~0.5 s at 25 bps; 50 characters "
+              "take ~0.5 s at 1 kbps.",
+    )
+    benchmark.extra_info["table"] = table
+    assert float(rows[0][1]) < 1.0
+    assert float(rows[3][1]) < 1.0
+    assert coded_bitrate_bps(60) > 1500.0

@@ -1,0 +1,27 @@
+"""Benchmark-suite configuration.
+
+Every benchmark prints the rows/series of the paper figure it reproduces in
+addition to being timed by pytest-benchmark.  Because pytest captures
+per-test stdout, the collected figure tables are re-emitted in the terminal
+summary (so they land in ``bench_output.txt``) and are also appended to
+``benchmarks/results/figure_tables.txt`` for later inspection.
+"""
+
+import pathlib
+
+
+def pytest_sessionstart(session):
+    # Start each benchmark session with a fresh results file.
+    results = pathlib.Path(__file__).parent / "results" / "figure_tables.txt"
+    if results.exists():
+        results.unlink()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    from benchmarks._common import FIGURE_TABLES
+
+    if not FIGURE_TABLES:
+        return
+    terminalreporter.section("reproduced paper figures")
+    for table in FIGURE_TABLES:
+        terminalreporter.write(table)

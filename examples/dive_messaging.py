@@ -1,0 +1,80 @@
+"""Dive messaging: two divers exchanging hand-signal messages during a dive.
+
+This example reproduces the paper's motivating scenario (section 1): two
+recreational divers at the lake site keep in touch with predefined
+hand-signal messages while their separation changes over the course of the
+dive.  It uses the high-level :class:`repro.app.Messenger` API on top of a
+full simulated link and reports the delivery outcome, the selected bitrate
+and an airtime estimate for every message.
+
+Run with:  python examples/dive_messaging.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.app.messenger import Messenger
+from repro.channel.motion import SLOW_MOTION
+from repro.environments import LAKE, build_link_pair
+from repro.link import LinkSession
+
+#: (distance in metres, messages the lead diver sends at that point)
+DIVE_PLAN = [
+    (5.0, ["OK?"]),
+    (5.0, ["OK!", "Look - a turtle"]),
+    (10.0, ["Stay with your buddy"]),
+    (15.0, ["How much air do you have?"]),
+    (15.0, ["I have 100 bar"]),
+    (20.0, ["Turn around", "Head to the boat"]),
+    (10.0, ["Safety stop here"]),
+    (5.0, ["Surface now", "Dive is complete"]),
+]
+
+
+def find_ids(texts):
+    from repro.app.messages import MESSAGE_CATALOG
+
+    ids = []
+    for text in texts:
+        matches = [m.message_id for m in MESSAGE_CATALOG if m.text == text]
+        if not matches:
+            raise SystemExit(f"message {text!r} is not in the catalog")
+        ids.append(matches[0])
+    return ids
+
+
+def main() -> None:
+    print("Dive messaging at the lake site (divers moving slowly)\n")
+    rng = np.random.default_rng(2024)
+    delivered = 0
+    total_airtime = 0.0
+
+    for step, (distance, texts) in enumerate(DIVE_PLAN):
+        forward, backward = build_link_pair(
+            site=LAKE, distance_m=distance, motion=SLOW_MOTION,
+            seed=int(rng.integers(0, 2 ** 31 - 1)),
+        )
+        session = LinkSession(forward, backward, seed=step)
+        messenger = Messenger(session, max_retransmissions=2, seed=step)
+        report = messenger.send_message_ids(find_ids(texts))
+        delivered += int(report.success)
+        status = "delivered" if report.success else "LOST    "
+        bitrate = report.bitrate_bps
+        airtime = report.latency_estimate_s
+        if np.isfinite(airtime):
+            total_airtime += airtime * report.attempts
+        print(f"[{distance:4.1f} m] {status}  "
+              f"{' + '.join(texts):45s} "
+              f"attempts={report.attempts}  "
+              f"bitrate={bitrate:6.0f} bps  "
+              f"airtime~{airtime * 1000 if np.isfinite(airtime) else float('nan'):5.0f} ms")
+
+    print(f"\n{delivered}/{len(DIVE_PLAN)} messages delivered "
+          f"(total payload airtime ~{total_airtime:.2f} s)")
+    print("Hand signals would have required visual contact at every one of "
+          "these points; the acoustic link does not.")
+
+
+if __name__ == "__main__":
+    main()

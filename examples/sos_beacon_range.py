@@ -1,0 +1,44 @@
+"""SoS beacons: long-range, low-rate distress signalling.
+
+A snorkeler in trouble at the beach site broadcasts an SoS beacon carrying
+their 6-bit user ID using the FSK mode (paper section 3).  This example
+sweeps the receiver distance out to 113 m and the three supported bit rates
+(5, 10, 20 bps), showing that the slow rates remain decodable far beyond
+the range of the OFDM messaging mode.
+
+Run with:  python examples/sos_beacon_range.py
+"""
+
+from __future__ import annotations
+
+from repro.app.sos import SosBeaconService
+from repro.environments import BEACH, build_channel
+
+USER_ID = 27
+DISTANCES_M = (25.0, 50.0, 75.0, 100.0, 113.0)
+RATES_BPS = (5, 10, 20)
+REPETITIONS = 5
+
+
+def main() -> None:
+    print(f"SoS beacon range sweep at the beach (user id {USER_ID})\n")
+    header = "distance " + "".join(f"{rate:>18d} bps" for rate in RATES_BPS)
+    print(header)
+    print("-" * len(header))
+    for i, distance in enumerate(DISTANCES_M):
+        cells = [f"{distance:6.0f} m "]
+        for rate in RATES_BPS:
+            channel = build_channel(site=BEACH, distance_m=distance, seed=300 + i)
+            service = SosBeaconService(channel, bit_rate_bps=rate, seed=400 + i)
+            receptions = service.broadcast_many(USER_ID, REPETITIONS)
+            correct = sum(r.user_id == USER_ID for r in receptions)
+            bit_errors = sum(r.bit_errors for r in receptions)
+            cells.append(f"{correct}/{REPETITIONS} ids, {bit_errors:2d} bit err".rjust(22))
+        print("".join(cells))
+    duration = 6 / 10.0
+    print(f"\nA 10 bps beacon takes {duration:.1f} s to transmit the 6-bit ID; "
+          "the paper reports <1% bit errors for 5-10 bps out to 113 m.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so that ``pip install -e . --no-use-pep517`` (the legacy editable
+install path) works on machines without the ``wheel`` package or network
+access to fetch build dependencies.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""AquaApp reproduction: underwater acoustic messaging for mobile devices.
+
+This package is a from-scratch Python reproduction of the system described in
+"Underwater Messaging Using Mobile Devices" (Chen, Chan, Gollakota,
+SIGCOMM 2022).  It contains:
+
+* :mod:`repro.core` -- the paper's primary contribution: an OFDM acoustic
+  modem for the 1-4 kHz band with a CAZAC preamble, per-subcarrier SNR
+  estimation, frequency-band adaptation, two-tone feedback encoding,
+  time-domain MMSE equalization, differential BPSK and rate-2/3
+  convolutional coding, plus the FSK SoS beacon mode.
+* :mod:`repro.dsp`, :mod:`repro.fec` -- signal processing and forward error
+  correction substrates used by the modem.
+* :mod:`repro.channel`, :mod:`repro.devices`, :mod:`repro.environments` --
+  the simulated underwater acoustic testbed (multipath, noise, Doppler,
+  device frequency responses, waterproof cases, evaluation sites).
+* :mod:`repro.link` -- the post-preamble feedback protocol run end to end
+  between a transmitter and a receiver over simulated channels.
+* :mod:`repro.mac` -- the carrier-sense MAC protocol and a discrete-event
+  multi-transmitter network simulator.
+* :mod:`repro.app` -- the messaging application layer (240 hand-signal
+  catalog, message codec, SoS beacons).
+* :mod:`repro.analysis` -- BER/PER/CDF analysis helpers used by the
+  benchmark harness.
+"""
+
+from repro.core.config import OFDMConfig, ProtocolConfig
+from repro.core.modem import AquaModem
+from repro.link.session import LinkSession, LinkStatistics, PacketResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OFDMConfig",
+    "ProtocolConfig",
+    "AquaModem",
+    "LinkSession",
+    "LinkStatistics",
+    "PacketResult",
+    "__version__",
+]

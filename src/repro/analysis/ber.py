@@ -1,0 +1,47 @@
+"""Theoretical BER references.
+
+Fig. 8 of the paper compares the measured per-subcarrier BER against the
+theoretical BPSK curve; Fig. 16 refers to the "4 dB causes about 1 % BER"
+point of the same curve.  These helpers provide that reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import special
+
+
+def q_function(x: np.ndarray | float) -> np.ndarray | float:
+    """The Gaussian tail probability Q(x)."""
+    return 0.5 * special.erfc(np.asarray(x, dtype=float) / np.sqrt(2.0))
+
+
+def bpsk_ber_theoretical(snr_db: np.ndarray | float) -> np.ndarray | float:
+    """Theoretical BPSK bit error rate at a given per-bit SNR (dB).
+
+    ``BER = Q(sqrt(2 * Eb/N0))`` with Eb/N0 taken equal to the
+    per-subcarrier SNR, which is how the paper presents its Fig. 8 curve.
+    """
+    snr_linear = 10.0 ** (np.asarray(snr_db, dtype=float) / 10.0)
+    result = q_function(np.sqrt(2.0 * snr_linear))
+    if np.isscalar(snr_db):
+        return float(result)
+    return result
+
+
+def snr_for_target_ber(target_ber: float) -> float:
+    """Return the SNR (dB) at which theoretical BPSK BER equals ``target_ber``.
+
+    Solved by bisection; the paper's 1 % BER reference corresponds to about
+    4.3 dB, matching the 4 dB dashed line in Fig. 16.
+    """
+    if not 0 < target_ber < 0.5:
+        raise ValueError("target_ber must be in (0, 0.5)")
+    low, high = -10.0, 30.0
+    for _ in range(100):
+        mid = 0.5 * (low + high)
+        if bpsk_ber_theoretical(mid) > target_ber:
+            low = mid
+        else:
+            high = mid
+    return 0.5 * (low + high)

@@ -1,0 +1,81 @@
+"""SoS beacon application: long-range low-rate distress signalling.
+
+The beacon encodes a 6-bit user ID with binary FSK at 5, 10 or 20 bps in
+the 1.5-4 kHz band (paper section 3).  At 10 bps the whole beacon takes
+0.6 seconds and remains decodable at 100+ metres, which is what matters
+for alerting a dive group to an emergency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.channel import UnderwaterAcousticChannel
+from repro.core.beacon import FSKBeacon
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class SosReception:
+    """Result of listening for an SoS beacon.
+
+    Attributes
+    ----------
+    user_id:
+        The decoded 6-bit user identifier.
+    bit_errors:
+        Number of bit errors against the transmitted ID (only meaningful in
+        simulation, where the ground truth is known).
+    mean_confidence_db:
+        Average tone-energy margin of the bit decisions.
+    """
+
+    user_id: int
+    bit_errors: int
+    mean_confidence_db: float
+
+
+class SosBeaconService:
+    """Sends and receives SoS beacons over a simulated channel."""
+
+    def __init__(
+        self,
+        channel: UnderwaterAcousticChannel,
+        bit_rate_bps: int = 10,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self.channel = channel
+        self.beacon = FSKBeacon(bit_rate_bps=bit_rate_bps)
+        self._rng = ensure_rng(seed)
+
+    @property
+    def beacon_duration_s(self) -> float:
+        """Airtime of one 6-bit SoS beacon."""
+        return 6 * self.beacon.symbol_duration_s
+
+    def broadcast(self, user_id: int) -> SosReception:
+        """Transmit an SoS beacon for ``user_id`` and decode it at the receiver.
+
+        Each broadcast redraws the small-scale channel realization: beacons
+        are repeated over seconds, during which swell and swimmer motion
+        decorrelate the multipath.
+        """
+        waveform = self.beacon.encode_sos(user_id)
+        self.channel.randomize(self._rng)
+        output = self.channel.transmit(waveform, self._rng)
+        decoded_id, result = self.beacon.decode_sos(output.samples)
+        true_bits = [(user_id >> (5 - i)) & 1 for i in range(6)]
+        bit_errors = int(np.count_nonzero(np.asarray(true_bits) != result.bits))
+        return SosReception(
+            user_id=decoded_id,
+            bit_errors=bit_errors,
+            mean_confidence_db=float(np.mean(result.confidence)),
+        )
+
+    def broadcast_many(self, user_id: int, repetitions: int) -> list[SosReception]:
+        """Broadcast the beacon repeatedly (for reliability statistics)."""
+        if repetitions <= 0:
+            raise ValueError("repetitions must be positive")
+        return [self.broadcast(user_id) for _ in range(repetitions)]

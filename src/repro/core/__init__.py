@@ -1,0 +1,50 @@
+"""The AquaApp modem: the paper's primary contribution.
+
+This package implements the transmit and receive signal chains and the
+adaptation logic described in section 2 of the paper:
+
+* :mod:`repro.core.config` -- OFDM and protocol parameter sets.
+* :mod:`repro.core.ofdm` -- OFDM symbol modulation / demodulation.
+* :mod:`repro.core.preamble` -- CAZAC preamble generation, two-stage
+  detection and symbol synchronization.
+* :mod:`repro.core.snr` -- per-subcarrier MMSE channel / SNR estimation.
+* :mod:`repro.core.adaptation` -- the frequency band selection algorithm
+  (Algorithm 1).
+* :mod:`repro.core.feedback` -- the two-tone feedback symbol codec.
+* :mod:`repro.core.equalizer` -- time-domain MMSE equalization.
+* :mod:`repro.core.coding` -- the data encoder / decoder pipeline
+  (convolutional coding, interleaving, differential BPSK).
+* :mod:`repro.core.modem` -- :class:`AquaModem`, tying everything together.
+* :mod:`repro.core.baselines` -- the fixed-bandwidth comparison schemes.
+* :mod:`repro.core.beacon` -- the low-rate FSK SoS beacon mode.
+* :mod:`repro.core.tones` -- single-tone device ID / ACK encoding.
+* :mod:`repro.core.rates` -- bitrate and airtime accounting.
+"""
+
+from repro.core.adaptation import BandSelection, select_frequency_band
+from repro.core.baselines import FIXED_BAND_SCHEMES, FixedBandScheme
+from repro.core.beacon import FSKBeacon
+from repro.core.config import OFDMConfig, ProtocolConfig
+from repro.core.equalizer import MMSEEqualizer
+from repro.core.feedback import FeedbackCodec
+from repro.core.modem import AquaModem
+from repro.core.preamble import PreambleDetector, PreambleGenerator
+from repro.core.snr import estimate_channel_and_snr
+from repro.core.tones import ToneCodec
+
+__all__ = [
+    "OFDMConfig",
+    "ProtocolConfig",
+    "AquaModem",
+    "PreambleGenerator",
+    "PreambleDetector",
+    "estimate_channel_and_snr",
+    "select_frequency_band",
+    "BandSelection",
+    "FeedbackCodec",
+    "MMSEEqualizer",
+    "FixedBandScheme",
+    "FIXED_BAND_SCHEMES",
+    "FSKBeacon",
+    "ToneCodec",
+]

@@ -1,0 +1,166 @@
+"""Feedback symbol encoding and decoding.
+
+The receiver (Bob) reports the selected band back to the transmitter
+(Alice) in a single OFDM symbol: all transmit power is placed on the two
+subcarriers corresponding to ``f_begin`` and ``f_end`` (section 2.2.3).
+Because the whole symbol energy is concentrated on two tones, Alice can
+decode the feedback reliably even though she has no channel estimate for
+the backward path: she slides an FFT window across the expected arrival
+interval, finds the offset with the most in-band energy and picks the two
+strongest subcarriers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import OFDMConfig, ProtocolConfig
+from repro.core.ofdm import OFDMModulator
+
+
+@dataclass(frozen=True)
+class FeedbackDecodeResult:
+    """Outcome of searching for and decoding a feedback symbol.
+
+    Attributes
+    ----------
+    found:
+        Whether a plausible feedback symbol was located.
+    start_bin, end_bin:
+        Decoded band edges as absolute subcarrier indices.
+    offset:
+        Sample offset at which the symbol was found.
+    peak_power_ratio:
+        Ratio of the energy in the two selected bins to the total in-band
+        energy at the chosen offset; a quality indicator.
+    """
+
+    found: bool
+    start_bin: int
+    end_bin: int
+    offset: int
+    peak_power_ratio: float
+
+
+class FeedbackCodec:
+    """Encodes and decodes the two-tone band feedback symbol."""
+
+    def __init__(
+        self,
+        ofdm_config: OFDMConfig | None = None,
+        protocol_config: ProtocolConfig | None = None,
+    ) -> None:
+        self.ofdm_config = ofdm_config or OFDMConfig()
+        self.protocol_config = protocol_config or ProtocolConfig()
+        self._modulator = OFDMModulator(self.ofdm_config)
+
+    # ----------------------------------------------------------------- encode
+    def encode(self, start_bin: int, end_bin: int) -> np.ndarray:
+        """Return the feedback OFDM symbol for a selected band.
+
+        Both ``start_bin`` and ``end_bin`` are absolute subcarrier indices;
+        they may be equal for a single-bin band, in which case the entire
+        power goes onto that one tone.
+        """
+        config = self.ofdm_config
+        if start_bin > end_bin:
+            start_bin, end_bin = end_bin, start_bin
+        if start_bin < config.first_data_bin or end_bin > config.last_data_bin:
+            raise ValueError(
+                f"feedback bins [{start_bin}, {end_bin}] outside the data band"
+            )
+        if start_bin == end_bin:
+            bins = np.array([start_bin])
+            values = np.array([1.0 + 0.0j])
+        else:
+            bins = np.array([start_bin, end_bin])
+            values = np.array([1.0 + 0.0j, 1.0 + 0.0j])
+        return self._modulator.modulate(values, bins, add_cyclic_prefix=True)
+
+    # ----------------------------------------------------------------- decode
+    def decode(
+        self,
+        received: np.ndarray,
+        search_start: int = 0,
+        search_stop: int | None = None,
+    ) -> FeedbackDecodeResult:
+        """Locate and decode the feedback symbol within ``received``.
+
+        Parameters
+        ----------
+        received:
+            Audio captured by the original transmitter after it finished
+            sending the preamble (it stays silent while listening).
+        search_start, search_stop:
+            Sample range of candidate symbol start offsets.  The default
+            searches up to the maximum round-trip time for the protocol's
+            ``max_range_m`` plus one symbol, as the paper describes.
+        """
+        config = self.ofdm_config
+        received = np.asarray(received, dtype=float)
+        window = config.symbol_length
+        if search_stop is None:
+            max_round_trip_s = 2.0 * self.protocol_config.max_range_m / 1500.0
+            search_stop = int(max_round_trip_s * config.sample_rate_hz) + config.extended_symbol_length
+        search_stop = min(int(search_stop), received.size - window)
+        if search_stop < search_start:
+            return FeedbackDecodeResult(False, -1, -1, -1, 0.0)
+
+        step = max(1, int(self.protocol_config.feedback_search_step))
+        offsets = np.arange(int(search_start), search_stop + 1, step)
+        data_bins = config.data_bins
+        # Two-pass search.  The first pass finds how much two-tone energy any
+        # window captures; the second pass restricts attention to windows that
+        # capture a substantial fraction of it and, among those, picks the one
+        # whose energy is *most concentrated* in its two strongest bins.  That
+        # window is the one best aligned with the OFDM symbol (minimal
+        # spectral leakage), which matters when the two tones arrive with very
+        # different strengths because of frequency-selective fading.
+        candidates = []
+        max_score = 0.0
+        for offset in offsets:
+            frame = received[offset:offset + window]
+            spectrum = np.abs(np.fft.rfft(frame)[data_bins]) ** 2
+            energy = float(spectrum.sum())
+            if energy <= 0.0:
+                continue
+            first, second = self._top_two_tones(spectrum)
+            score = float(spectrum[first] + spectrum[second])
+            candidates.append((int(offset), first, second, score, score / energy))
+            max_score = max(max_score, score)
+        if not candidates or max_score <= 0.0:
+            return FeedbackDecodeResult(False, -1, -1, -1, 0.0)
+        strong = [c for c in candidates if c[3] >= 0.5 * max_score]
+        best_offset, first, second, _, best_ratio = max(strong, key=lambda c: c[4])
+
+        low, high = sorted((first, second))
+        start_bin = int(data_bins[low])
+        end_bin = int(data_bins[high])
+        # A genuine two-tone symbol concentrates most in-band energy in the
+        # two selected bins (plus a little leakage); random noise does not.
+        found = best_ratio > 0.2
+        return FeedbackDecodeResult(found, start_bin, end_bin, best_offset, best_ratio)
+
+    @staticmethod
+    def _top_two_tones(spectrum: np.ndarray) -> tuple[int, int]:
+        """Return the indices of the two strongest, non-adjacent tones.
+
+        The bin next to the strongest tone is excluded when picking the
+        second tone, because a slight symbol-timing offset leaks energy of a
+        strong tone into its immediate neighbours and that leakage can
+        otherwise outweigh a genuinely transmitted tone sitting in a fade.
+        A second tone more than ~26 dB below the first is treated as absent,
+        which is how a single-bin band (one transmitted tone) is recognized.
+        """
+        first = int(np.argmax(spectrum))
+        masked = spectrum.copy()
+        low = max(0, first - 1)
+        masked[low:first + 2] = -np.inf
+        if np.all(~np.isfinite(masked)):
+            return first, first
+        second = int(np.argmax(masked))
+        if spectrum[second] < 0.0025 * spectrum[first]:
+            return first, first
+        return first, second

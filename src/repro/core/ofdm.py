@@ -1,0 +1,132 @@
+"""OFDM symbol modulation and demodulation.
+
+An OFDM symbol is built by placing complex values on a subset of the
+real-FFT bins of a ``symbol_length``-sample frame, taking an inverse real
+FFT, normalizing the frame to a fixed transmit power and prepending a
+cyclic prefix.  Normalizing to *fixed total power per symbol* is what makes
+the paper's "drop low-SNR bins and reallocate power to the remaining bins"
+behaviour emerge naturally: fewer active bins means more power per bin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import OFDMConfig
+
+
+class OFDMModulator:
+    """Modulates and demodulates single OFDM symbols for a given config."""
+
+    def __init__(self, config: OFDMConfig, symbol_power: float = 1.0) -> None:
+        if symbol_power <= 0:
+            raise ValueError("symbol_power must be positive")
+        self.config = config
+        self.symbol_power = float(symbol_power)
+
+    @property
+    def num_spectrum_bins(self) -> int:
+        """Number of bins in the one-sided (real FFT) spectrum."""
+        return self.config.symbol_length // 2 + 1
+
+    # ----------------------------------------------------------------- encode
+    def modulate(
+        self,
+        bin_values: np.ndarray,
+        bin_indices: np.ndarray,
+        add_cyclic_prefix: bool = True,
+        normalize_power: bool = True,
+    ) -> np.ndarray:
+        """Build a time-domain OFDM symbol.
+
+        Parameters
+        ----------
+        bin_values:
+            Complex values to place on the selected subcarriers.
+        bin_indices:
+            Absolute subcarrier indices (0 = DC) receiving those values.
+        add_cyclic_prefix:
+            Prepend the cyclic prefix when ``True``.
+        normalize_power:
+            Scale the symbol so its mean power equals ``symbol_power``.
+            Disable for silence symbols or externally-scaled signals.
+        """
+        bin_values = np.asarray(bin_values, dtype=complex).ravel()
+        bin_indices = np.asarray(bin_indices, dtype=int).ravel()
+        if bin_values.shape != bin_indices.shape:
+            raise ValueError("bin_values and bin_indices must have the same length")
+        if bin_indices.size and (
+            bin_indices.min() < 0 or bin_indices.max() >= self.num_spectrum_bins
+        ):
+            raise ValueError("bin index out of range for the configured symbol length")
+        spectrum = np.zeros(self.num_spectrum_bins, dtype=complex)
+        spectrum[bin_indices] = bin_values
+        symbol = np.fft.irfft(spectrum, n=self.config.symbol_length)
+        if normalize_power and bin_indices.size:
+            power = float(np.mean(symbol ** 2))
+            if power > 0:
+                symbol = symbol * np.sqrt(self.symbol_power / power)
+        if add_cyclic_prefix and self.config.cyclic_prefix_length > 0:
+            prefix = symbol[-self.config.cyclic_prefix_length:]
+            symbol = np.concatenate([prefix, symbol])
+        return symbol
+
+    # ---------------------------------------------------------------- decode
+    def demodulate(
+        self,
+        symbol: np.ndarray,
+        bin_indices: np.ndarray | None = None,
+        has_cyclic_prefix: bool = True,
+    ) -> np.ndarray:
+        """Recover subcarrier values from a received time-domain symbol.
+
+        Parameters
+        ----------
+        symbol:
+            Received samples for one OFDM symbol (with or without its
+            cyclic prefix, see ``has_cyclic_prefix``).
+        bin_indices:
+            Subcarrier indices to return.  ``None`` returns the full
+            one-sided spectrum.
+        """
+        symbol = np.asarray(symbol, dtype=float).ravel()
+        if has_cyclic_prefix:
+            if symbol.size < self.config.extended_symbol_length:
+                raise ValueError(
+                    f"expected at least {self.config.extended_symbol_length} samples, "
+                    f"got {symbol.size}"
+                )
+            symbol = symbol[self.config.cyclic_prefix_length:
+                            self.config.cyclic_prefix_length + self.config.symbol_length]
+        else:
+            if symbol.size < self.config.symbol_length:
+                raise ValueError(
+                    f"expected at least {self.config.symbol_length} samples, got {symbol.size}"
+                )
+            symbol = symbol[: self.config.symbol_length]
+        spectrum = np.fft.rfft(symbol)
+        if bin_indices is None:
+            return spectrum
+        bin_indices = np.asarray(bin_indices, dtype=int).ravel()
+        return spectrum[bin_indices]
+
+    # ----------------------------------------------------------------- helpers
+    def silence(self, num_symbols: int = 1, with_prefix: bool = True) -> np.ndarray:
+        """Return zero samples spanning ``num_symbols`` OFDM symbol slots.
+
+        Used for the post-preamble silence period: the transmitter keeps its
+        audio buffer full with zeros so the OFDM symbol timer stays aligned.
+        """
+        if num_symbols < 0:
+            raise ValueError("num_symbols must be non-negative")
+        length = self.config.extended_symbol_length if with_prefix else self.config.symbol_length
+        return np.zeros(num_symbols * length)
+
+    def split_symbols(self, samples: np.ndarray, num_symbols: int) -> list[np.ndarray]:
+        """Split a buffer into consecutive extended (CP-included) symbols."""
+        samples = np.asarray(samples, dtype=float).ravel()
+        step = self.config.extended_symbol_length
+        needed = num_symbols * step
+        if samples.size < needed:
+            raise ValueError(f"need {needed} samples for {num_symbols} symbols, got {samples.size}")
+        return [samples[i * step:(i + 1) * step] for i in range(num_symbols)]

@@ -1,0 +1,98 @@
+"""Single-tone OFDM symbols for device IDs and ACKs.
+
+The paper encodes device IDs and acknowledgements by concentrating the
+entire transmit power of one OFDM symbol into a single subcarrier
+(section 2.3.2, "Encoding ID and ACKs"):
+
+* an ACK places all power on the subcarrier at 1 kHz;
+* a device ID ``i`` (0-59) places all power on the ``i``-th data
+  subcarrier, limiting the local network to 60 devices -- acceptable for a
+  group of divers.
+
+Decoding is a simple arg-max over the in-band FFT magnitudes of the symbol,
+which is robust because no other subcarrier carries energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import OFDMConfig
+from repro.core.ofdm import OFDMModulator
+
+
+@dataclass(frozen=True)
+class ToneDecodeResult:
+    """Result of decoding a single-tone symbol.
+
+    Attributes
+    ----------
+    bin_index:
+        Absolute subcarrier index of the strongest tone.
+    value:
+        Decoded value: the device ID for an ID symbol, 0 for an ACK.
+    is_ack:
+        Whether the tone corresponds to the ACK subcarrier.
+    dominance:
+        Fraction of in-band energy captured by the strongest bin -- a
+        confidence measure (1.0 means a clean single tone).
+    """
+
+    bin_index: int
+    value: int
+    is_ack: bool
+    dominance: float
+
+
+class ToneCodec:
+    """Encodes and decodes single-tone ID / ACK OFDM symbols."""
+
+    def __init__(self, ofdm_config: OFDMConfig | None = None) -> None:
+        self.ofdm_config = ofdm_config or OFDMConfig()
+        self._modulator = OFDMModulator(self.ofdm_config)
+
+    @property
+    def max_devices(self) -> int:
+        """Maximum number of addressable devices (one per data subcarrier)."""
+        return self.ofdm_config.num_data_bins
+
+    @property
+    def ack_bin(self) -> int:
+        """Absolute subcarrier index used for ACKs (the 1 kHz bin)."""
+        return self.ofdm_config.first_data_bin
+
+    def encode_id(self, device_id: int) -> np.ndarray:
+        """Return the OFDM symbol announcing ``device_id``."""
+        if not 0 <= device_id < self.max_devices:
+            raise ValueError(
+                f"device_id must be in [0, {self.max_devices - 1}], got {device_id}"
+            )
+        bin_index = self.ofdm_config.first_data_bin + device_id
+        return self._modulator.modulate(
+            np.array([1.0 + 0.0j]), np.array([bin_index]), add_cyclic_prefix=True
+        )
+
+    def encode_ack(self) -> np.ndarray:
+        """Return the OFDM symbol acknowledging a successful packet."""
+        return self._modulator.modulate(
+            np.array([1.0 + 0.0j]), np.array([self.ack_bin]), add_cyclic_prefix=True
+        )
+
+    def decode(self, symbol: np.ndarray, has_cyclic_prefix: bool = True) -> ToneDecodeResult:
+        """Decode a received single-tone symbol."""
+        spectrum = self._modulator.demodulate(
+            symbol, self.ofdm_config.data_bins, has_cyclic_prefix=has_cyclic_prefix
+        )
+        power = np.abs(spectrum) ** 2
+        total = float(power.sum())
+        best = int(np.argmax(power))
+        bin_index = int(self.ofdm_config.data_bins[best])
+        dominance = float(power[best] / total) if total > 0 else 0.0
+        return ToneDecodeResult(
+            bin_index=bin_index,
+            value=bin_index - self.ofdm_config.first_data_bin,
+            is_ack=bin_index == self.ack_bin,
+            dominance=dominance,
+        )

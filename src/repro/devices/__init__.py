@@ -1,0 +1,41 @@
+"""Mobile-device models: speakers, microphones and waterproof cases.
+
+The paper evaluates four devices (Samsung Galaxy S9, Google Pixel 4,
+OnePlus 8 Pro, Samsung Galaxy Watch 4) and two waterproof enclosures (a
+thin PVC pouch and a hard polycarbonate case rated to 15 m).  The modules
+here provide deterministic frequency-response models for each, so the
+adaptation algorithm faces the same kind of device diversity the real
+system does.
+"""
+
+from repro.devices.case import (
+    AIR_FILLED_POUCH,
+    HARD_CASE,
+    NO_CASE,
+    SOFT_POUCH,
+    WaterproofCase,
+)
+from repro.devices.models import (
+    DEVICE_CATALOG,
+    GALAXY_S9,
+    GALAXY_WATCH_4,
+    ONEPLUS_8_PRO,
+    PIXEL_4,
+    DeviceModel,
+)
+from repro.devices.response import FrequencyResponse
+
+__all__ = [
+    "FrequencyResponse",
+    "DeviceModel",
+    "DEVICE_CATALOG",
+    "GALAXY_S9",
+    "PIXEL_4",
+    "ONEPLUS_8_PRO",
+    "GALAXY_WATCH_4",
+    "WaterproofCase",
+    "NO_CASE",
+    "SOFT_POUCH",
+    "HARD_CASE",
+    "AIR_FILLED_POUCH",
+]

@@ -1,0 +1,129 @@
+"""FIR filtering helpers.
+
+The receiver applies a 128-order FIR band-pass filter with a 1-4 kHz
+passband to the incoming audio before any further processing (paper
+section 2.3.2); device and case frequency responses are also realized as
+FIR filters designed by frequency sampling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from repro.utils.validation import require_positive
+
+
+def design_bandpass_fir(
+    low_hz: float,
+    high_hz: float,
+    sample_rate_hz: float,
+    num_taps: int = 129,
+) -> np.ndarray:
+    """Design a linear-phase FIR band-pass filter.
+
+    Parameters
+    ----------
+    low_hz, high_hz:
+        Passband edges in Hz.
+    sample_rate_hz:
+        Sampling rate in Hz.
+    num_taps:
+        Number of filter taps.  The paper's "128 order" filter corresponds
+        to 129 taps.  Must be odd so the band-pass response is realizable
+        as a type-I linear phase filter.
+    """
+    require_positive(sample_rate_hz, "sample_rate_hz")
+    require_positive(num_taps, "num_taps")
+    if not 0 < low_hz < high_hz < sample_rate_hz / 2:
+        raise ValueError(
+            f"band edges must satisfy 0 < low < high < Nyquist, got "
+            f"({low_hz}, {high_hz}) at fs={sample_rate_hz}"
+        )
+    if num_taps % 2 == 0:
+        num_taps += 1
+    return sp_signal.firwin(
+        num_taps, [low_hz, high_hz], pass_zero=False, fs=sample_rate_hz
+    )
+
+
+def design_fir_from_response(
+    freqs_hz: np.ndarray,
+    gains_db: np.ndarray,
+    sample_rate_hz: float,
+    num_taps: int = 257,
+) -> np.ndarray:
+    """Design an FIR filter approximating an arbitrary magnitude response.
+
+    Used to turn device speaker/microphone frequency-response curves and
+    multipath transfer functions into time-domain filters.  The response is
+    specified as gains in dB at the given frequencies and interpolated onto
+    a dense frequency grid before the frequency-sampling design.
+    """
+    require_positive(sample_rate_hz, "sample_rate_hz")
+    freqs_hz = np.asarray(freqs_hz, dtype=float)
+    gains_db = np.asarray(gains_db, dtype=float)
+    if freqs_hz.shape != gains_db.shape or freqs_hz.ndim != 1 or freqs_hz.size < 2:
+        raise ValueError("freqs_hz and gains_db must be 1-D arrays of equal length >= 2")
+    if np.any(np.diff(freqs_hz) <= 0):
+        raise ValueError("freqs_hz must be strictly increasing")
+    nyquist = sample_rate_hz / 2.0
+    if num_taps % 2 == 0:
+        num_taps += 1
+    grid = np.linspace(0.0, nyquist, 512)
+    gains_linear = 10.0 ** (np.interp(grid, freqs_hz, gains_db, left=gains_db[0], right=gains_db[-1]) / 20.0)
+    # Force DC and Nyquist toward zero to keep the filter well behaved for
+    # audio-band work; the communication band (1-4 kHz) is far from both.
+    gains_linear[0] = 0.0
+    gains_linear[-1] = 0.0
+    return sp_signal.firwin2(num_taps, grid, gains_linear, fs=sample_rate_hz)
+
+
+class FIRBandpassFilter:
+    """Convenience wrapper bundling an FIR design with its application.
+
+    Instances are reusable and stateless between calls (each call filters a
+    complete buffer, mirroring the packet-at-a-time processing of the
+    modem's receive path).
+    """
+
+    def __init__(
+        self,
+        low_hz: float = 1000.0,
+        high_hz: float = 4000.0,
+        sample_rate_hz: float = 48000.0,
+        num_taps: int = 129,
+    ) -> None:
+        self.low_hz = float(low_hz)
+        self.high_hz = float(high_hz)
+        self.sample_rate_hz = float(sample_rate_hz)
+        self.taps = design_bandpass_fir(low_hz, high_hz, sample_rate_hz, num_taps)
+
+    @property
+    def num_taps(self) -> int:
+        """Number of taps in the designed filter."""
+        return int(self.taps.size)
+
+    @property
+    def group_delay_samples(self) -> int:
+        """Group delay of the linear-phase filter in samples."""
+        return (self.taps.size - 1) // 2
+
+    def apply(self, samples: np.ndarray, compensate_delay: bool = True) -> np.ndarray:
+        """Filter ``samples`` and optionally remove the filter group delay.
+
+        Compensating the delay keeps downstream symbol timing (established
+        from the preamble position) valid after filtering.
+        """
+        samples = np.asarray(samples, dtype=float)
+        filtered = sp_signal.lfilter(self.taps, 1.0, np.concatenate([samples, np.zeros(self.taps.size)]))
+        if compensate_delay:
+            start = self.group_delay_samples
+            return filtered[start:start + samples.size]
+        return filtered[: samples.size]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"FIRBandpassFilter(low_hz={self.low_hz}, high_hz={self.high_hz}, "
+            f"sample_rate_hz={self.sample_rate_hz}, num_taps={self.num_taps})"
+        )

@@ -1,0 +1,101 @@
+"""CAZAC (Zadoff-Chu) and pseudo-noise sequences.
+
+The AquaApp preamble fills its OFDM subcarriers with a CAZAC sequence
+because such sequences have constant amplitude (unit peak-to-average power
+ratio in the frequency domain) and an ideal periodic autocorrelation, which
+makes them well suited both for detection by correlation and for channel
+estimation.  Eight identical preamble symbols are sign-modulated by the
+pseudo-noise pattern ``[-1, 1, 1, 1, 1, 1, -1, 1]`` to sharpen the timing
+metric of the sliding-correlation detector.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+#: Sign pattern applied to the eight preamble OFDM symbols (paper section 2.2.1).
+PREAMBLE_PN_SIGNS: tuple[int, ...] = (-1, 1, 1, 1, 1, 1, -1, 1)
+
+
+def zadoff_chu(length: int, root: int = 1) -> np.ndarray:
+    """Return a Zadoff-Chu sequence of ``length`` complex samples.
+
+    Parameters
+    ----------
+    length:
+        Number of elements in the sequence.  Any positive integer is
+        accepted; odd lengths give the classical ideal autocorrelation, but
+        even lengths (used when the number of OFDM data bins is even) still
+        provide constant amplitude and low autocorrelation sidelobes.
+    root:
+        Sequence root ``u``.  Must be coprime with ``length`` for the ideal
+        autocorrelation property; if it is not, the nearest coprime root is
+        used instead so callers never silently get a degenerate sequence.
+
+    Returns
+    -------
+    numpy.ndarray
+        Complex array of unit-magnitude samples.
+    """
+    if length <= 0:
+        raise ValueError(f"length must be positive, got {length}")
+    if root <= 0:
+        raise ValueError(f"root must be positive, got {root}")
+    u = root % length
+    if u == 0:
+        u = 1
+    # Walk to the nearest root that is coprime with the length.
+    while math.gcd(u, length) != 1:
+        u += 1
+        if u >= length:
+            u = 1
+    n = np.arange(length)
+    if length % 2 == 0:
+        phase = -np.pi * u * n * n / length
+    else:
+        phase = -np.pi * u * n * (n + 1) / length
+    return np.exp(1j * phase)
+
+
+def pn_sign_sequence(length: int, seed: int = 0x5A) -> np.ndarray:
+    """Return a deterministic +/-1 pseudo-noise sequence of ``length`` values.
+
+    A small linear-feedback shift register (taps matching the x^7 + x^6 + 1
+    maximal-length polynomial) generates the chips, so the same ``seed``
+    always produces the same pattern on every platform.
+    """
+    if length <= 0:
+        raise ValueError(f"length must be positive, got {length}")
+    state = seed & 0x7F
+    if state == 0:
+        state = 0x5A
+    chips = np.empty(length, dtype=float)
+    for i in range(length):
+        bit = ((state >> 6) ^ (state >> 5)) & 1
+        state = ((state << 1) | bit) & 0x7F
+        chips[i] = 1.0 if bit else -1.0
+    return chips
+
+
+def preamble_pn_signs() -> np.ndarray:
+    """Return the paper's eight-element preamble sign pattern as an array."""
+    return np.array(PREAMBLE_PN_SIGNS, dtype=float)
+
+
+def periodic_autocorrelation(sequence: np.ndarray) -> np.ndarray:
+    """Return the normalized periodic autocorrelation of a complex sequence.
+
+    Used by tests to check the CAZAC property: the zero-lag value is 1 and
+    every other lag is (close to) 0 for odd-length Zadoff-Chu sequences.
+    """
+    sequence = np.asarray(sequence, dtype=complex)
+    n = sequence.size
+    if n == 0:
+        raise ValueError("sequence must be non-empty")
+    energy = float(np.sum(np.abs(sequence) ** 2))
+    lags = np.empty(n, dtype=complex)
+    for lag in range(n):
+        lags[lag] = np.sum(sequence * np.conj(np.roll(sequence, lag))) / energy
+    return lags

@@ -1,0 +1,109 @@
+"""Spectrum estimation helpers.
+
+Used by the characterization benchmarks (frequency selectivity, ambient
+noise, reciprocity, air-in-case) and by the carrier-sense MAC energy
+detector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from repro.utils.units import power_ratio_to_db
+from repro.utils.validation import require_positive
+
+
+def power_spectral_density(
+    samples: np.ndarray,
+    sample_rate_hz: float,
+    nperseg: int = 2048,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(frequencies, psd)`` via Welch's method."""
+    require_positive(sample_rate_hz, "sample_rate_hz")
+    samples = np.asarray(samples, dtype=float)
+    if samples.size < 8:
+        raise ValueError("need at least 8 samples to estimate a spectrum")
+    nperseg = min(nperseg, samples.size)
+    freqs, psd = sp_signal.welch(samples, fs=sample_rate_hz, nperseg=nperseg)
+    return freqs, psd
+
+
+def magnitude_spectrum_db(
+    samples: np.ndarray,
+    sample_rate_hz: float,
+    nperseg: int = 2048,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(frequencies, magnitude_db)`` normalized to the peak bin."""
+    freqs, psd = power_spectral_density(samples, sample_rate_hz, nperseg)
+    db = power_ratio_to_db(psd / max(float(np.max(psd)), 1e-30))
+    return freqs, db
+
+
+def band_power(
+    samples: np.ndarray,
+    sample_rate_hz: float,
+    low_hz: float,
+    high_hz: float,
+) -> float:
+    """Return the mean power of ``samples`` restricted to a frequency band.
+
+    This is the quantity the carrier-sense MAC measures every 80 ms over
+    the 1-4 kHz communication band.
+    """
+    require_positive(sample_rate_hz, "sample_rate_hz")
+    if not 0 <= low_hz < high_hz <= sample_rate_hz / 2:
+        raise ValueError("invalid band edges")
+    samples = np.asarray(samples, dtype=float)
+    if samples.size == 0:
+        return 0.0
+    spectrum = np.fft.rfft(samples)
+    freqs = np.fft.rfftfreq(samples.size, d=1.0 / sample_rate_hz)
+    mask = (freqs >= low_hz) & (freqs <= high_hz)
+    # Parseval: mean power contribution of the selected bins.
+    total = np.sum(np.abs(spectrum[mask]) ** 2)
+    if samples.size % 2 == 0 and mask[-1]:
+        # Nyquist bin counted once.
+        pass
+    return float(2.0 * total / (samples.size ** 2))
+
+
+def band_power_db(
+    samples: np.ndarray,
+    sample_rate_hz: float,
+    low_hz: float,
+    high_hz: float,
+) -> float:
+    """Return :func:`band_power` expressed in dB."""
+    return power_ratio_to_db(max(band_power(samples, sample_rate_hz, low_hz, high_hz), 1e-30))
+
+
+def frequency_response_from_probe(
+    transmitted: np.ndarray,
+    received: np.ndarray,
+    sample_rate_hz: float,
+    freqs_hz: np.ndarray,
+    smoothing_bins: int = 5,
+) -> np.ndarray:
+    """Estimate an end-to-end magnitude response (dB) at the given frequencies.
+
+    The estimate is the ratio of received to transmitted energy density,
+    evaluated at ``freqs_hz`` and lightly smoothed.  This mirrors how the
+    paper's Fig. 3 curves are produced from chirp probes.
+    """
+    require_positive(sample_rate_hz, "sample_rate_hz")
+    transmitted = np.asarray(transmitted, dtype=float)
+    received = np.asarray(received, dtype=float)
+    n = max(transmitted.size, received.size)
+    n_fft = int(2 ** np.ceil(np.log2(max(n, 16))))
+    tx_spec = np.abs(np.fft.rfft(transmitted, n=n_fft)) ** 2
+    rx_spec = np.abs(np.fft.rfft(received, n=n_fft)) ** 2
+    grid = np.fft.rfftfreq(n_fft, d=1.0 / sample_rate_hz)
+    if smoothing_bins > 1:
+        kernel = np.ones(smoothing_bins) / smoothing_bins
+        tx_spec = np.convolve(tx_spec, kernel, mode="same")
+        rx_spec = np.convolve(rx_spec, kernel, mode="same")
+    ratio = rx_spec / np.maximum(tx_spec, 1e-30)
+    freqs_hz = np.asarray(freqs_hz, dtype=float)
+    values = np.interp(freqs_hz, grid, ratio)
+    return power_ratio_to_db(np.maximum(values, 1e-30))

@@ -1,0 +1,33 @@
+"""The six real-world evaluation environments, as simulation presets.
+
+Each :class:`~repro.environments.sites.Site` captures the acoustically
+relevant attributes of one of the paper's locations (depth, bottom type,
+reverberance, ambient noise, water activity), and
+:func:`~repro.environments.factory.build_channel` turns a site plus a link
+geometry into a ready-to-use :class:`~repro.channel.UnderwaterAcousticChannel`.
+"""
+
+from repro.environments.factory import build_channel, build_link_pair
+from repro.environments.sites import (
+    BAY,
+    BEACH,
+    BRIDGE,
+    LAKE,
+    MUSEUM,
+    PARK,
+    SITE_CATALOG,
+    Site,
+)
+
+__all__ = [
+    "Site",
+    "SITE_CATALOG",
+    "BRIDGE",
+    "PARK",
+    "LAKE",
+    "BEACH",
+    "MUSEUM",
+    "BAY",
+    "build_channel",
+    "build_link_pair",
+]

@@ -1,0 +1,265 @@
+"""Convolutional coding and Viterbi decoding.
+
+The mother code is the ubiquitous constraint-length-7, rate-1/2 code with
+generator polynomials 133 and 171 (octal).  Rate 2/3 is obtained with the
+standard puncturing pattern ``[[1, 1], [1, 0]]``: for every two input bits
+the four mother-code output bits are transmitted except the second output
+of the second bit.  The decoder runs a hard/soft-decision Viterbi algorithm
+and treats punctured positions as erasures (zero branch-metric
+contribution).
+
+Both the encoder and decoder are terminated: ``constraint_length - 1`` zero
+tail bits flush the encoder so the decoder can end in the all-zero state,
+which is how the 16-bit AquaApp packets become 24 coded bits
+(16 + 6 tail = 22 input bits... see :class:`PuncturedConvolutionalCode`
+for the exact accounting used in this reproduction, which follows the
+paper's 16 -> 24 coded-bit figure by puncturing the tail as well).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_DEFAULT_POLYNOMIALS = (0o133, 0o171)
+
+
+def _bits_array(bits: np.ndarray | list[int]) -> np.ndarray:
+    arr = np.asarray(bits, dtype=int).ravel()
+    if arr.size and not np.all((arr == 0) | (arr == 1)):
+        raise ValueError("bits must contain only 0s and 1s")
+    return arr
+
+
+class ConvolutionalCode:
+    """Rate-1/(number of polynomials) convolutional code with Viterbi decoding.
+
+    Parameters
+    ----------
+    constraint_length:
+        Number of input bits influencing each output (memory + 1).
+    polynomials:
+        Generator polynomials given in octal-style integers; each produces
+        one output stream per input bit.
+    """
+
+    def __init__(
+        self,
+        constraint_length: int = 7,
+        polynomials: tuple[int, ...] = _DEFAULT_POLYNOMIALS,
+    ) -> None:
+        if constraint_length < 2:
+            raise ValueError("constraint_length must be at least 2")
+        if len(polynomials) < 2:
+            raise ValueError("need at least two generator polynomials")
+        self.constraint_length = int(constraint_length)
+        self.polynomials = tuple(int(p) for p in polynomials)
+        self.num_outputs = len(self.polynomials)
+        self.num_states = 1 << (self.constraint_length - 1)
+        self._build_tables()
+
+    def _build_tables(self) -> None:
+        """Precompute next-state and output tables for every (state, bit)."""
+        mask = (1 << self.constraint_length) - 1
+        self._next_state = np.zeros((self.num_states, 2), dtype=np.int32)
+        self._outputs = np.zeros((self.num_states, 2, self.num_outputs), dtype=np.int8)
+        for state in range(self.num_states):
+            for bit in (0, 1):
+                register = ((bit << (self.constraint_length - 1)) | state) & mask
+                self._next_state[state, bit] = register >> 1
+                for i, poly in enumerate(self.polynomials):
+                    self._outputs[state, bit, i] = bin(register & poly).count("1") % 2
+
+    # ------------------------------------------------------------------ encode
+    @property
+    def rate(self) -> float:
+        """Nominal code rate (ignoring tail bits)."""
+        return 1.0 / self.num_outputs
+
+    @property
+    def num_tail_bits(self) -> int:
+        """Number of zero bits appended to flush the encoder."""
+        return self.constraint_length - 1
+
+    def encode(self, bits: np.ndarray | list[int], terminate: bool = True) -> np.ndarray:
+        """Encode ``bits`` and return the coded bit stream.
+
+        With ``terminate=True`` (the default) the encoder is flushed with
+        zero tail bits so the trellis ends in the all-zero state.
+        """
+        data = _bits_array(bits)
+        if terminate:
+            data = np.concatenate([data, np.zeros(self.num_tail_bits, dtype=int)])
+        state = 0
+        out = np.empty(data.size * self.num_outputs, dtype=int)
+        for i, bit in enumerate(data):
+            out[i * self.num_outputs:(i + 1) * self.num_outputs] = self._outputs[state, bit]
+            state = self._next_state[state, bit]
+        return out
+
+    # ------------------------------------------------------------------ decode
+    def decode(
+        self,
+        soft_bits: np.ndarray | list[float],
+        num_data_bits: int | None = None,
+        terminated: bool = True,
+    ) -> np.ndarray:
+        """Viterbi-decode a stream of soft coded bits.
+
+        Parameters
+        ----------
+        soft_bits:
+            Soft values in the range ``[-1, 1]`` where positive means "this
+            coded bit is more likely a 1" (hard bits 0/1 are also accepted
+            and mapped to -1/+1).  ``NaN`` marks an erasure (used for
+            punctured positions).
+        num_data_bits:
+            Number of *data* bits to return (excluding tail bits).  When
+            omitted it is inferred from the stream length and termination.
+        terminated:
+            Whether the encoder was flushed to the zero state.
+        """
+        soft = np.asarray(soft_bits, dtype=float).ravel()
+        if soft.size % self.num_outputs != 0:
+            raise ValueError(
+                f"coded stream length {soft.size} is not a multiple of {self.num_outputs}"
+            )
+        # Map hard bits to soft antipodal values, leaving genuine soft values alone.
+        hard_like = np.isin(soft[~np.isnan(soft)], (0.0, 1.0)).all() if soft.size else True
+        if hard_like:
+            soft = np.where(np.isnan(soft), np.nan, soft * 2.0 - 1.0)
+        num_steps = soft.size // self.num_outputs
+        if num_steps == 0:
+            return np.array([], dtype=int)
+        tail = self.num_tail_bits if terminated else 0
+        if num_data_bits is None:
+            num_data_bits = num_steps - tail
+        if num_data_bits < 0 or num_data_bits + tail > num_steps:
+            raise ValueError("num_data_bits inconsistent with coded stream length")
+
+        # Branch metrics: correlation between expected antipodal outputs and
+        # received soft values; erasures contribute nothing.
+        observations = soft.reshape(num_steps, self.num_outputs)
+        path_metric = np.full(self.num_states, -np.inf)
+        path_metric[0] = 0.0
+        decisions = np.zeros((num_steps, self.num_states), dtype=np.int8)
+        predecessors = np.zeros((num_steps, self.num_states), dtype=np.int32)
+
+        expected = self._outputs.astype(float) * 2.0 - 1.0  # (state, bit, output)
+        for step in range(num_steps):
+            obs = observations[step]
+            valid = ~np.isnan(obs)
+            new_metric = np.full(self.num_states, -np.inf)
+            new_decision = np.zeros(self.num_states, dtype=np.int8)
+            new_pred = np.zeros(self.num_states, dtype=np.int32)
+            if valid.any():
+                branch = np.tensordot(expected[:, :, valid], obs[valid], axes=([2], [0]))
+            else:
+                branch = np.zeros((self.num_states, 2))
+            for state in range(self.num_states):
+                metric_here = path_metric[state]
+                if metric_here == -np.inf:
+                    continue
+                for bit in (0, 1):
+                    nxt = self._next_state[state, bit]
+                    candidate = metric_here + branch[state, bit]
+                    if candidate > new_metric[nxt]:
+                        new_metric[nxt] = candidate
+                        new_decision[nxt] = bit
+                        new_pred[nxt] = state
+            path_metric = new_metric
+            decisions[step] = new_decision
+            predecessors[step] = new_pred
+
+        # Trace back from the zero state (terminated) or the best state.
+        if terminated and path_metric[0] > -np.inf:
+            state = 0
+        else:
+            state = int(np.argmax(path_metric))
+        decoded = np.zeros(num_steps, dtype=int)
+        for step in range(num_steps - 1, -1, -1):
+            decoded[step] = decisions[step, state]
+            state = predecessors[step, state]
+        return decoded[:num_data_bits]
+
+
+class PuncturedConvolutionalCode:
+    """Rate-2/3 punctured convolutional code used by the AquaApp modem.
+
+    Encoding 16 data bits produces 24 coded bits, matching the packet
+    accounting in the paper ("16 bits, 24 bits after applying a 2/3
+    convolutional code").  To hit exactly that ratio the code is used
+    *unterminated* for payloads (the short 16-bit packets keep the error
+    bursts bounded anyway) unless ``terminate=True`` is requested, in which
+    case tail bits are appended before puncturing.
+    """
+
+    #: Standard rate-2/3 puncturing pattern for the rate-1/2 mother code.
+    PUNCTURE_PATTERN = ((1, 1), (1, 0))
+
+    def __init__(
+        self,
+        constraint_length: int = 7,
+        polynomials: tuple[int, int] = _DEFAULT_POLYNOMIALS,
+        terminate: bool = False,
+    ) -> None:
+        self.mother = ConvolutionalCode(constraint_length, polynomials)
+        self.terminate = bool(terminate)
+        pattern = np.asarray(self.PUNCTURE_PATTERN, dtype=int)
+        if pattern.shape[1] != self.mother.num_outputs:
+            raise ValueError("puncture pattern width must equal the number of outputs")
+        self._pattern = pattern
+        self._period = pattern.shape[0]
+        self._kept_per_period = int(pattern.sum())
+
+    @property
+    def rate(self) -> float:
+        """Effective code rate after puncturing (2/3)."""
+        return self._period / self._kept_per_period
+
+    @property
+    def constraint_length(self) -> int:
+        """Constraint length of the mother code."""
+        return self.mother.constraint_length
+
+    def coded_length(self, num_data_bits: int) -> int:
+        """Return the number of coded bits produced for ``num_data_bits``."""
+        total_input = num_data_bits + (self.mother.num_tail_bits if self.terminate else 0)
+        mask = self._puncture_mask(total_input)
+        return int(mask.sum())
+
+    def _puncture_mask(self, num_input_bits: int) -> np.ndarray:
+        """Boolean mask over the mother-code output marking transmitted bits."""
+        mask = np.zeros(num_input_bits * self.mother.num_outputs, dtype=bool)
+        for i in range(num_input_bits):
+            row = self._pattern[i % self._period]
+            for j in range(self.mother.num_outputs):
+                mask[i * self.mother.num_outputs + j] = bool(row[j])
+        return mask
+
+    def encode(self, bits: np.ndarray | list[int]) -> np.ndarray:
+        """Encode and puncture ``bits``, returning the transmitted coded bits."""
+        data = _bits_array(bits)
+        mother_out = self.mother.encode(data, terminate=self.terminate)
+        total_input = data.size + (self.mother.num_tail_bits if self.terminate else 0)
+        mask = self._puncture_mask(total_input)
+        return mother_out[mask]
+
+    def decode(self, soft_bits: np.ndarray | list[float], num_data_bits: int) -> np.ndarray:
+        """Depuncture and Viterbi-decode ``soft_bits`` into ``num_data_bits`` bits."""
+        soft = np.asarray(soft_bits, dtype=float).ravel()
+        expected = self.coded_length(num_data_bits)
+        if soft.size != expected:
+            raise ValueError(
+                f"expected {expected} coded bits for {num_data_bits} data bits, got {soft.size}"
+            )
+        # Convert hard bits to antipodal soft values if necessary.
+        finite = soft[~np.isnan(soft)]
+        if finite.size and np.isin(finite, (0.0, 1.0)).all():
+            soft = np.where(np.isnan(soft), np.nan, soft * 2.0 - 1.0)
+        total_input = num_data_bits + (self.mother.num_tail_bits if self.terminate else 0)
+        mask = self._puncture_mask(total_input)
+        depunctured = np.full(mask.size, np.nan)
+        depunctured[mask] = soft
+        return self.mother.decode(
+            depunctured, num_data_bits=num_data_bits, terminated=self.terminate
+        )

@@ -1,0 +1,263 @@
+"""Multi-device messaging network: MAC scheduling on top of link sessions.
+
+The paper's MAC evaluation (section 2.4, Fig. 19) measures collisions at
+the timeline level; this module combines that scheduling behaviour with the
+full physical-layer link so that a small *network* of divers exchanging
+messages can be simulated end to end:
+
+* every diver is a :class:`NetworkNode` with a device model, a position
+  (distance to each peer) and a queue of messages to send;
+* the carrier-sense MAC decides *when* each node transmits (collisions mark
+  both packets as lost, as the energy of two overlapping OFDM packets is
+  not separable by the single-channel receiver);
+* each non-collided transmission is then resolved by running the
+  post-preamble feedback protocol over the corresponding simulated channel,
+  so channel errors and adaptation behaviour are still present;
+* delivery is confirmed with the single-tone ACK; unacknowledged packets
+  are retransmitted up to a configurable limit.
+
+This is the layer a downstream application (e.g. a dive-group messenger)
+would build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.modem import AquaModem
+from repro.devices.models import GALAXY_S9, DeviceModel
+from repro.environments.factory import build_link_pair
+from repro.environments.sites import LAKE, Site
+from repro.link.session import LinkSession
+from repro.mac.simulator import MacNetworkSimulator, TransmitterConfig
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class QueuedMessage:
+    """A message waiting in a node's transmit queue.
+
+    Attributes
+    ----------
+    sender, recipient:
+        Node names.
+    payload_bits:
+        The packet payload (16 bits for the messaging app).
+    """
+
+    sender: str
+    recipient: str
+    payload_bits: tuple[int, ...]
+
+
+@dataclass
+class NetworkNode:
+    """One diver's device in the network.
+
+    Attributes
+    ----------
+    name:
+        Unique node name.
+    device:
+        The phone/watch model used by this diver.
+    device_id:
+        Address used in packet headers and ACKs (0-59).
+    distance_to_receiver_m:
+        Distance to the dive leader (the receiver in the Fig. 19 topology).
+    """
+
+    name: str
+    device: DeviceModel = GALAXY_S9
+    device_id: int = 0
+    distance_to_receiver_m: float = 7.5
+    queue: list[QueuedMessage] = field(default_factory=list)
+
+    def enqueue(self, recipient: str, payload_bits: np.ndarray | list[int]) -> None:
+        """Add a message for ``recipient`` to this node's transmit queue."""
+        bits = tuple(int(b) for b in np.asarray(payload_bits, dtype=int).ravel())
+        self.queue.append(QueuedMessage(self.name, recipient, bits))
+
+
+@dataclass(frozen=True)
+class NetworkDeliveryRecord:
+    """Outcome of one queued message after MAC scheduling and PHY decoding."""
+
+    message: QueuedMessage
+    attempts: int
+    collided_attempts: int
+    delivered: bool
+    bitrate_bps: float
+
+
+@dataclass
+class NetworkReport:
+    """Aggregate outcome of a network run."""
+
+    records: list[NetworkDeliveryRecord] = field(default_factory=list)
+    collision_fraction: float = 0.0
+
+    @property
+    def num_messages(self) -> int:
+        """Number of queued messages that were attempted."""
+        return len(self.records)
+
+    @property
+    def delivery_rate(self) -> float:
+        """Fraction of messages eventually delivered (after retransmissions)."""
+        if not self.records:
+            return float("nan")
+        return sum(r.delivered for r in self.records) / len(self.records)
+
+    @property
+    def mean_attempts(self) -> float:
+        """Average number of transmissions per message."""
+        if not self.records:
+            return float("nan")
+        return float(np.mean([r.attempts for r in self.records]))
+
+
+class UnderwaterMessagingNetwork:
+    """A small network of divers sharing the acoustic channel.
+
+    Parameters
+    ----------
+    nodes:
+        The transmitting nodes (the receiver/dive leader is implicit).
+    site:
+        Evaluation site whose acoustics every link uses.
+    carrier_sense:
+        Whether the MAC uses energy-detection carrier sense.
+    max_retransmissions:
+        How many times an unacknowledged packet is retransmitted.
+    packet_duration_s:
+        Airtime of one full protocol exchange (used by the MAC scheduler).
+    """
+
+    def __init__(
+        self,
+        nodes: list[NetworkNode],
+        site: Site = LAKE,
+        carrier_sense: bool = True,
+        max_retransmissions: int = 1,
+        packet_duration_s: float = 0.6,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if not nodes:
+            raise ValueError("the network needs at least one transmitting node")
+        names = [node.name for node in nodes]
+        if len(set(names)) != len(names):
+            raise ValueError("node names must be unique")
+        self.nodes = {node.name: node for node in nodes}
+        self.site = site
+        self.carrier_sense = bool(carrier_sense)
+        self.max_retransmissions = int(max_retransmissions)
+        self.packet_duration_s = float(packet_duration_s)
+        self._rng = ensure_rng(seed)
+        self._modem = AquaModem()
+
+    # ------------------------------------------------------------------ MAC
+    def _schedule_transmissions(self, attempts_per_node: dict[str, int]):
+        """Run the MAC simulator for the requested number of packets per node."""
+        transmitters = [
+            TransmitterConfig(
+                name=name,
+                distance_to_receiver_m=self.nodes[name].distance_to_receiver_m,
+                num_packets=count,
+            )
+            for name, count in attempts_per_node.items()
+            if count > 0
+        ]
+        if not transmitters:
+            return None
+        simulator = MacNetworkSimulator(
+            transmitters,
+            packet_duration_s=self.packet_duration_s,
+            carrier_sense=self.carrier_sense,
+        )
+        return simulator.run(seed=int(self._rng.integers(0, 2 ** 31 - 1)))
+
+    # ------------------------------------------------------------------ PHY
+    def _deliver_over_phy(self, node: NetworkNode, message: QueuedMessage) -> tuple[bool, float]:
+        """Run one physical-layer exchange for a non-collided transmission."""
+        forward, backward = build_link_pair(
+            site=self.site,
+            distance_m=node.distance_to_receiver_m,
+            tx_device=node.device,
+            seed=int(self._rng.integers(0, 2 ** 31 - 1)),
+        )
+        session = LinkSession(
+            forward, backward, modem=self._modem,
+            receiver_id=node.device_id, seed=int(self._rng.integers(0, 2 ** 31 - 1)),
+        )
+        result = session.run_packet(payload=np.array(message.payload_bits))
+        if not result.delivered:
+            return False, result.coded_bitrate_bps
+        # Delivery is confirmed with the single-tone ACK over the backward channel.
+        ack = self._modem.build_ack()
+        ack_received = self._modem.filter_received(backward.transmit(ack, self._rng).samples)
+        start = 0
+        stop = self._modem.ofdm_config.extended_symbol_length
+        acked = self._modem.decode_ack(ack_received[start:stop + 2048][:stop])
+        return bool(acked), result.coded_bitrate_bps
+
+    # ------------------------------------------------------------------- run
+    def run(self) -> NetworkReport:
+        """Send every queued message and return the aggregate report."""
+        pending: dict[str, list[QueuedMessage]] = {
+            name: list(node.queue) for name, node in self.nodes.items()
+        }
+        attempts: dict[QueuedMessage, int] = {}
+        collisions: dict[QueuedMessage, int] = {}
+        delivered: dict[QueuedMessage, bool] = {}
+        bitrates: dict[QueuedMessage, float] = {}
+        total_collided = 0
+        total_transmissions = 0
+
+        for _ in range(1 + self.max_retransmissions):
+            remaining = {name: len(queue) for name, queue in pending.items() if queue}
+            if not remaining:
+                break
+            schedule = self._schedule_transmissions(remaining)
+            if schedule is None:
+                break
+            # Walk the MAC timeline in order and map each transmission back to
+            # the next queued message of that node.
+            cursors = {name: 0 for name in pending}
+            next_pending: dict[str, list[QueuedMessage]] = {name: [] for name in pending}
+            for record in sorted(schedule.transmissions, key=lambda r: r.start_time_s):
+                queue = pending[record.transmitter]
+                index = cursors[record.transmitter]
+                if index >= len(queue):
+                    continue
+                message = queue[index]
+                cursors[record.transmitter] += 1
+                attempts[message] = attempts.get(message, 0) + 1
+                total_transmissions += 1
+                if record.collided:
+                    collisions[message] = collisions.get(message, 0) + 1
+                    total_collided += 1
+                    success = False
+                    bitrate = float("nan")
+                else:
+                    node = self.nodes[record.transmitter]
+                    success, bitrate = self._deliver_over_phy(node, message)
+                delivered[message] = delivered.get(message, False) or success
+                bitrates[message] = bitrate
+                if not delivered[message]:
+                    next_pending[record.transmitter].append(message)
+            pending = next_pending
+
+        records = []
+        for node in self.nodes.values():
+            for message in node.queue:
+                records.append(NetworkDeliveryRecord(
+                    message=message,
+                    attempts=attempts.get(message, 0),
+                    collided_attempts=collisions.get(message, 0),
+                    delivered=delivered.get(message, False),
+                    bitrate_bps=bitrates.get(message, float("nan")),
+                ))
+        collision_fraction = total_collided / total_transmissions if total_transmissions else 0.0
+        return NetworkReport(records=records, collision_fraction=collision_fraction)

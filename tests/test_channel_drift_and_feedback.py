@@ -1,0 +1,85 @@
+"""Regression tests for late-added behaviours: channel drift accumulation and
+feedback decoding under strong tone imbalance."""
+
+import numpy as np
+import pytest
+
+from repro.channel.channel import UnderwaterAcousticChannel
+from repro.channel.motion import FAST_MOTION, STATIC_MOTION
+from repro.channel.multipath import ImageMethodGeometry, MultipathModel
+from repro.channel.noise import AmbientNoiseModel
+from repro.core.config import OFDMConfig
+from repro.core.feedback import FeedbackCodec
+
+
+def _channel(motion):
+    geometry = ImageMethodGeometry(5.0, 1.0, 1.0, 8.0)
+    return UnderwaterAcousticChannel(
+        multipath=MultipathModel(geometry=geometry, seed=4),
+        noise=AmbientNoiseModel(level_db=-60.0),
+        motion=motion,
+        seed=4,
+    )
+
+
+def _response(channel):
+    return channel.end_to_end_response_db(np.arange(1000.0, 4000.0, 100.0))
+
+
+def test_static_channel_does_not_drift_between_transmissions(rng):
+    channel = _channel(STATIC_MOTION)
+    before = _response(channel)
+    channel.transmit(np.ones(9600), rng)
+    after = _response(channel)
+    np.testing.assert_allclose(before, after)
+
+
+def test_motion_accumulates_channel_drift_between_transmissions(rng):
+    channel = _channel(FAST_MOTION)
+    before = _response(channel)
+    for _ in range(3):
+        channel.transmit(np.ones(19200), rng)
+    after = _response(channel)
+    assert not np.allclose(before, after, atol=0.5)
+
+
+def test_randomize_resets_are_still_bounded(rng):
+    """Randomizing between packets moves the geometry by centimetres, not metres."""
+    channel = _channel(STATIC_MOTION)
+    original_range = channel.distance_m
+    for _ in range(20):
+        channel.randomize(rng)
+    assert channel.distance_m == pytest.approx(original_range, abs=3.0)
+    assert 0.05 < channel.geometry.tx_depth_m < channel.geometry.water_depth_m
+
+
+def test_feedback_decodes_strongly_imbalanced_tones(rng):
+    """A 20 dB per-tone imbalance (deep fade on one tone) must still decode."""
+    config = OFDMConfig()
+    codec = FeedbackCodec(config)
+    start_bin, end_bin = 25, 70
+    symbol = codec.encode(start_bin, end_bin)
+    # Attenuate the end tone by 20 dB in the frequency domain.
+    core = symbol[config.cyclic_prefix_length:]
+    spectrum = np.fft.rfft(core)
+    spectrum[end_bin] *= 0.1
+    faded = np.fft.irfft(spectrum, n=config.symbol_length)
+    faded = np.concatenate([faded[-config.cyclic_prefix_length:], faded])
+    received = np.concatenate([np.zeros(400), faded, np.zeros(1500)])
+    received += 1e-5 * rng.standard_normal(received.size)
+    result = codec.decode(received)
+    assert result.found
+    assert result.start_bin == start_bin
+    assert result.end_bin == end_bin
+
+
+def test_feedback_collapses_to_single_tone_when_other_is_gone(rng):
+    """A tone buried >26 dB below the other is reported as a single-bin band."""
+    config = OFDMConfig()
+    codec = FeedbackCodec(config)
+    symbol = codec.encode(30, 30)
+    received = np.concatenate([np.zeros(200), symbol, np.zeros(1500)])
+    received += 1e-6 * rng.standard_normal(received.size)
+    result = codec.decode(received)
+    assert result.found
+    assert result.start_bin == result.end_bin == 30

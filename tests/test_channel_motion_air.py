@@ -1,0 +1,77 @@
+"""Tests for the motion model and the in-air channel."""
+
+import numpy as np
+import pytest
+
+from repro.channel.air import InAirChannel
+from repro.channel.motion import (
+    FAST_MOTION,
+    MOTION_PRESETS,
+    SLOW_MOTION,
+    STATIC_MOTION,
+    MotionModel,
+)
+from repro.dsp.chirp import lfm_chirp
+from repro.dsp.spectrum import frequency_response_from_probe
+
+
+def test_presets_match_paper_accelerations():
+    assert STATIC_MOTION.acceleration_m_s2 == 0.0
+    assert SLOW_MOTION.acceleration_m_s2 == pytest.approx(2.5)
+    assert FAST_MOTION.acceleration_m_s2 == pytest.approx(5.1)
+    assert set(MOTION_PRESETS) == {"static", "slow", "fast"}
+
+
+def test_static_motion_produces_no_movement():
+    state = STATIC_MOTION.sample(rng=0)
+    assert state.radial_speed_m_s == 0.0
+    assert state.drift_rate_per_s == 0.0
+    assert state.displacement_m == 0.0
+
+
+def test_fast_motion_faster_than_slow_on_average():
+    slow = [abs(SLOW_MOTION.sample(rng=i, interval_s=0.5).radial_speed_m_s) for i in range(50)]
+    fast = [abs(FAST_MOTION.sample(rng=i, interval_s=0.5).radial_speed_m_s) for i in range(50)]
+    assert np.mean(fast) > np.mean(slow)
+
+
+def test_motion_speed_capped_at_safe_diver_speed():
+    model = MotionModel("test", acceleration_m_s2=50.0, max_speed_m_s=2.0,
+                        channel_drift_rate_per_s=1.0)
+    speeds = [abs(model.sample(rng=i, interval_s=1.0).radial_speed_m_s) for i in range(30)]
+    assert max(speeds) <= 2.0 + 1e-9
+
+
+def test_motion_sampling_is_deterministic_per_seed():
+    a = FAST_MOTION.sample(rng=9, interval_s=0.4)
+    b = FAST_MOTION.sample(rng=9, interval_s=0.4)
+    assert a == b
+
+
+def test_in_air_channel_reciprocity():
+    """In air the forward and backward responses are nearly identical (Fig. 3c)."""
+    fs = 48000.0
+    chirp = lfm_chirp(1000, 3000, 1.0, fs)
+    forward = InAirChannel(distance_m=2.0)
+    backward = forward.reverse()
+    freqs = np.arange(1000.0, 3000.0, 50.0)
+    rx_fwd = forward.transmit(chirp, fs, rng=1)
+    rx_bwd = backward.transmit(chirp, fs, rng=2)
+    resp_fwd = frequency_response_from_probe(chirp, rx_fwd, fs, freqs)
+    resp_bwd = frequency_response_from_probe(chirp, rx_bwd, fs, freqs)
+    # Mean absolute difference across the band stays small in air.
+    assert np.mean(np.abs(resp_fwd - resp_bwd)) < 3.0
+
+
+def test_in_air_channel_output_length_and_noise():
+    fs = 48000.0
+    channel = InAirChannel()
+    x = np.zeros(4800)
+    y = channel.transmit(x, fs, rng=0)
+    assert y.size == x.size
+    assert np.std(y) > 0  # ambient noise present
+
+
+def test_in_air_channel_validation():
+    with pytest.raises(ValueError):
+        InAirChannel(distance_m=0.0)

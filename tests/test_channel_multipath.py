@@ -1,0 +1,128 @@
+"""Tests for the image-method multipath model."""
+
+import numpy as np
+import pytest
+
+from repro.channel.multipath import ImageMethodGeometry, MultipathModel
+
+
+def _model(**kwargs):
+    defaults = dict(
+        geometry=ImageMethodGeometry(
+            water_depth_m=5.0, tx_depth_m=1.0, rx_depth_m=1.0, horizontal_range_m=10.0
+        ),
+        surface_loss_db=1.0,
+        bottom_loss_db=5.0,
+    )
+    defaults.update(kwargs)
+    return MultipathModel(**defaults)
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        ImageMethodGeometry(water_depth_m=5.0, tx_depth_m=6.0, rx_depth_m=1.0,
+                            horizontal_range_m=10.0)
+    with pytest.raises(ValueError):
+        ImageMethodGeometry(water_depth_m=5.0, tx_depth_m=1.0, rx_depth_m=0.0,
+                            horizontal_range_m=10.0)
+    with pytest.raises(ValueError):
+        ImageMethodGeometry(water_depth_m=-1.0, tx_depth_m=1.0, rx_depth_m=1.0,
+                            horizontal_range_m=10.0)
+
+
+def test_direct_path_is_first_and_strongest():
+    paths = _model().paths()
+    direct = paths[0]
+    assert direct.num_surface_bounces == 0
+    assert direct.num_bottom_bounces == 0
+    assert direct.length_m == pytest.approx(10.0)
+    assert abs(direct.amplitude) == pytest.approx(max(abs(p.amplitude) for p in paths))
+
+
+def test_surface_bounce_flips_polarity():
+    paths = _model().paths()
+    surface_paths = [p for p in paths if p.num_surface_bounces % 2 == 1]
+    assert surface_paths
+    assert all(p.amplitude < 0 for p in surface_paths)
+
+
+def test_single_bottom_bounce_present():
+    paths = _model().paths()
+    assert any(p.num_bottom_bounces == 1 and p.num_surface_bounces == 0 for p in paths)
+
+
+def test_more_bounces_allowed_with_higher_order():
+    few = _model(max_bounces=2).paths()
+    many = _model(max_bounces=6).paths()
+    assert len(many) > len(few)
+
+
+def test_delays_sorted_and_positive():
+    paths = _model().paths()
+    delays = [p.delay_s for p in paths]
+    assert delays == sorted(delays)
+    assert all(d > 0 for d in delays)
+
+
+def test_extra_reflectors_add_late_paths():
+    base = _model(seed=3).paths()
+    extended = _model(extra_reflectors=4, seed=3).paths()
+    assert len(extended) == len(base) + 4
+
+
+def test_impulse_response_properties():
+    response = _model().impulse_response(48000.0)
+    assert response.ndim == 1
+    assert response.size >= 1
+    assert np.argmax(np.abs(response)) <= 1  # delay-normalized: direct path first
+
+
+def test_impulse_response_max_taps_cap():
+    response = _model(extra_reflectors=3, seed=1).impulse_response(48000.0, max_taps=50)
+    assert response.size <= 50
+
+
+def test_frequency_response_has_notches():
+    """Multipath must produce frequency-selective fading in the 1-4 kHz band."""
+    model = _model()
+    freqs = np.arange(1000.0, 4000.0, 25.0)
+    response = model.frequency_response_db(freqs)
+    assert response.max() - response.min() > 6.0
+
+
+def test_frequency_response_changes_with_geometry():
+    a = _model().frequency_response_db(np.arange(1000, 4000, 50.0))
+    b = _model(geometry=ImageMethodGeometry(5.0, 2.0, 1.5, 14.0)).frequency_response_db(
+        np.arange(1000, 4000, 50.0))
+    assert not np.allclose(a, b, atol=1.0)
+
+
+def test_delay_spread_larger_for_deeper_water_with_reflectors():
+    shallow = _model()
+    reverberant = _model(extra_reflectors=5, seed=2)
+    assert reverberant.delay_spread_s() >= shallow.delay_spread_s()
+
+
+def test_direct_path_delay_matches_geometry():
+    model = _model()
+    expected = 10.0 / model.sound_speed_m_s
+    assert model.direct_path_delay_s() == pytest.approx(expected, rel=1e-3)
+
+
+def test_apply_convolves_signal():
+    model = _model()
+    impulse_in = np.zeros(2000)
+    impulse_in[0] = 1.0
+    out = model.apply(impulse_in, 48000.0)
+    assert out.size == impulse_in.size
+    np.testing.assert_allclose(out[: model.impulse_response(48000.0).size],
+                               model.impulse_response(48000.0)[:2000][: out.size][: model.impulse_response(48000.0).size])
+
+
+def test_delayed_apply_adds_propagation_delay():
+    model = _model()
+    impulse_in = np.zeros(4000)
+    impulse_in[0] = 1.0
+    delayed = model.delayed_apply(impulse_in, 48000.0)
+    expected_delay = int(round(model.direct_path_delay_s() * 48000.0))
+    assert abs(int(np.argmax(np.abs(delayed))) - expected_delay) <= 1

@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_a_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_sites_command_lists_all_sites(capsys):
+    assert main(["sites"]) == 0
+    output = capsys.readouterr().out
+    for name in ("bridge", "park", "lake", "beach", "museum", "bay"):
+        assert name in output
+
+
+def test_link_command_runs_small_experiment(capsys):
+    code = main(["link", "--site", "bridge", "--distance", "5", "--packets", "3",
+                 "--seed", "1"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "packet error rate" in output
+    assert "median coded bitrate" in output
+
+
+def test_link_command_with_fixed_scheme(capsys):
+    code = main(["link", "--site", "lake", "--distance", "5", "--packets", "2",
+                 "--scheme", "fixed-0.5k", "--seed", "2"])
+    assert code == 0
+    assert "scheme=fixed-0.5k" in capsys.readouterr().out
+
+
+def test_sos_command(capsys):
+    code = main(["sos", "--distance", "50", "--rate", "20", "--repetitions", "2",
+                 "--seed", "3"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "correctly decoded IDs" in output
+
+
+def test_mac_command_with_and_without_carrier_sense(capsys):
+    assert main(["mac", "--transmitters", "2", "--packets", "20", "--seed", "4"]) == 0
+    with_cs = capsys.readouterr().out
+    assert "carrier sense enabled" in with_cs
+    assert main(["mac", "--transmitters", "2", "--packets", "20", "--seed", "4",
+                 "--no-carrier-sense"]) == 0
+    without_cs = capsys.readouterr().out
+    assert "carrier sense disabled" in without_cs
+
+
+def test_invalid_site_rejected():
+    with pytest.raises(SystemExit):
+        main(["link", "--site", "atlantis"])

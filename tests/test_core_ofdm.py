@@ -1,0 +1,113 @@
+"""Tests for OFDM symbol modulation / demodulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OFDMConfig
+from repro.core.ofdm import OFDMModulator
+
+
+@pytest.fixture(scope="module")
+def config():
+    return OFDMConfig()
+
+
+@pytest.fixture(scope="module")
+def modulator(config):
+    return OFDMModulator(config)
+
+
+def test_symbol_length_with_and_without_prefix(modulator, config):
+    values = np.ones(config.num_data_bins, dtype=complex)
+    with_cp = modulator.modulate(values, config.data_bins)
+    without_cp = modulator.modulate(values, config.data_bins, add_cyclic_prefix=False)
+    assert with_cp.size == config.extended_symbol_length
+    assert without_cp.size == config.symbol_length
+
+
+def test_cyclic_prefix_is_a_copy_of_the_tail(modulator, config):
+    values = np.exp(1j * np.linspace(0, 3, config.num_data_bins))
+    symbol = modulator.modulate(values, config.data_bins)
+    prefix = symbol[: config.cyclic_prefix_length]
+    tail = symbol[-config.cyclic_prefix_length:]
+    np.testing.assert_allclose(prefix, tail)
+
+
+def test_power_normalization(modulator, config):
+    values = np.ones(config.num_data_bins, dtype=complex)
+    symbol = modulator.modulate(values, config.data_bins, add_cyclic_prefix=False)
+    assert np.mean(symbol ** 2) == pytest.approx(1.0, rel=1e-6)
+
+
+def test_power_reallocation_on_fewer_bins(modulator, config):
+    """Fewer active bins -> more power per bin (fixed total symbol power)."""
+    full = modulator.modulate(np.ones(60, dtype=complex), config.data_bins,
+                              add_cyclic_prefix=False)
+    narrow_bins = config.data_bins[:10]
+    narrow = modulator.modulate(np.ones(10, dtype=complex), narrow_bins,
+                                add_cyclic_prefix=False)
+    full_spectrum = np.abs(np.fft.rfft(full)) ** 2
+    narrow_spectrum = np.abs(np.fft.rfft(narrow)) ** 2
+    per_bin_full = full_spectrum[config.data_bins].mean()
+    per_bin_narrow = narrow_spectrum[narrow_bins].mean()
+    assert per_bin_narrow / per_bin_full == pytest.approx(6.0, rel=0.05)
+
+
+def test_modulate_demodulate_roundtrip(modulator, config):
+    rng = np.random.default_rng(0)
+    values = np.exp(1j * rng.uniform(0, 2 * np.pi, config.num_data_bins))
+    symbol = modulator.modulate(values, config.data_bins)
+    recovered = modulator.demodulate(symbol, config.data_bins)
+    # Up to a common positive scale factor the values must match.
+    scale = np.abs(recovered[0] / values[0])
+    np.testing.assert_allclose(recovered, values * scale, atol=1e-8 * scale + 1e-12)
+
+
+def test_demodulate_full_spectrum_when_bins_omitted(modulator, config):
+    values = np.ones(config.num_data_bins, dtype=complex)
+    symbol = modulator.modulate(values, config.data_bins)
+    spectrum = modulator.demodulate(symbol)
+    assert spectrum.size == config.symbol_length // 2 + 1
+
+
+def test_unused_bins_carry_no_energy(modulator, config):
+    values = np.ones(config.num_data_bins, dtype=complex)
+    symbol = modulator.modulate(values, config.data_bins, add_cyclic_prefix=False)
+    spectrum = np.abs(np.fft.rfft(symbol))
+    out_of_band = np.delete(spectrum, config.data_bins)
+    assert np.max(out_of_band) < 1e-9 * np.max(spectrum)
+
+
+def test_modulate_validations(modulator, config):
+    with pytest.raises(ValueError):
+        modulator.modulate(np.ones(3), np.array([1, 2]))
+    with pytest.raises(ValueError):
+        modulator.modulate(np.ones(1), np.array([config.symbol_length]))
+
+
+def test_demodulate_validates_length(modulator):
+    with pytest.raises(ValueError):
+        modulator.demodulate(np.zeros(10))
+
+
+def test_silence_generation(modulator, config):
+    silence = modulator.silence(3)
+    assert silence.size == 3 * config.extended_symbol_length
+    assert np.all(silence == 0)
+    assert modulator.silence(0).size == 0
+
+
+def test_split_symbols(modulator, config):
+    values = np.ones(config.num_data_bins, dtype=complex)
+    one = modulator.modulate(values, config.data_bins)
+    buffer = np.concatenate([one, 2 * one, 3 * one])
+    symbols = modulator.split_symbols(buffer, 3)
+    assert len(symbols) == 3
+    np.testing.assert_allclose(symbols[1], 2 * one)
+    with pytest.raises(ValueError):
+        modulator.split_symbols(buffer, 4)
+
+
+def test_constructor_rejects_bad_power(config):
+    with pytest.raises(ValueError):
+        OFDMModulator(config, symbol_power=0.0)

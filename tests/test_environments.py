@@ -1,0 +1,104 @@
+"""Tests for the evaluation-site presets and the channel factory."""
+
+import numpy as np
+import pytest
+
+from repro.channel.channel import UnderwaterAcousticChannel
+from repro.channel.motion import FAST_MOTION
+from repro.devices.case import HARD_CASE
+from repro.environments.factory import build_channel, build_link_pair, build_noise_model
+from repro.environments.sites import (
+    BAY,
+    BEACH,
+    BRIDGE,
+    LAKE,
+    MUSEUM,
+    PARK,
+    SITE_CATALOG,
+    Site,
+)
+
+
+def test_catalog_has_six_sites():
+    assert set(SITE_CATALOG) == {"bridge", "park", "lake", "beach", "museum", "bay"}
+
+
+def test_site_depths_match_paper():
+    assert LAKE.water_depth_m == pytest.approx(5.0)
+    assert MUSEUM.water_depth_m == pytest.approx(9.0)
+    assert BAY.water_depth_m == pytest.approx(15.0)
+
+
+def test_beach_supports_long_range():
+    assert BEACH.max_range_m >= 113.0
+
+
+def test_bridge_is_quietest_site():
+    assert BRIDGE.noise_level_db <= min(s.noise_level_db for s in SITE_CATALOG.values())
+
+
+def test_lake_is_most_reverberant():
+    assert LAKE.extra_reflectors >= max(s.extra_reflectors for s in SITE_CATALOG.values())
+
+
+def test_site_validation():
+    with pytest.raises(ValueError):
+        Site("bad", "", water_depth_m=-1.0, max_range_m=10.0, noise_level_db=-40.0,
+             impulsive_noise_rate_hz=0.0, surface_loss_db=1.0, bottom_loss_db=5.0,
+             extra_reflectors=0, current_speed_m_s=0.0)
+
+
+def test_build_noise_model_uses_site_level():
+    model = build_noise_model(PARK)
+    assert model.level_db == PARK.noise_level_db
+
+
+def test_build_channel_returns_configured_channel():
+    channel = build_channel(site=LAKE, distance_m=10.0, seed=1)
+    assert isinstance(channel, UnderwaterAcousticChannel)
+    assert channel.distance_m == pytest.approx(10.0)
+    assert channel.geometry.water_depth_m == pytest.approx(LAKE.water_depth_m)
+
+
+def test_build_channel_rejects_excessive_distance():
+    with pytest.raises(ValueError):
+        build_channel(site=BRIDGE, distance_m=500.0)
+    with pytest.raises(ValueError):
+        build_channel(site=BRIDGE, distance_m=-1.0)
+
+
+def test_build_channel_clamps_depth_into_water_column():
+    channel = build_channel(site=BRIDGE, distance_m=5.0, tx_depth_m=10.0, seed=2,
+                            tx_case=HARD_CASE, rx_case=HARD_CASE)
+    assert channel.geometry.tx_depth_m < BRIDGE.water_depth_m
+
+
+def test_build_channel_deterministic_for_seed():
+    freqs = np.arange(1000.0, 4000.0, 100.0)
+    a = build_channel(site=LAKE, distance_m=7.0, seed=42).end_to_end_response_db(freqs)
+    b = build_channel(site=LAKE, distance_m=7.0, seed=42).end_to_end_response_db(freqs)
+    np.testing.assert_allclose(a, b)
+
+
+def test_build_channel_differs_across_sites():
+    freqs = np.arange(1000.0, 4000.0, 100.0)
+    lake = build_channel(site=LAKE, distance_m=5.0, seed=3).end_to_end_response_db(freqs)
+    bridge = build_channel(site=BRIDGE, distance_m=5.0, seed=3).end_to_end_response_db(freqs)
+    assert not np.allclose(lake, bridge, atol=1.0)
+
+
+def test_build_channel_with_motion_preset():
+    channel = build_channel(site=LAKE, distance_m=5.0, motion=FAST_MOTION, seed=4)
+    assert channel.motion is FAST_MOTION
+
+
+def test_static_requests_get_residual_currents_at_busy_sites():
+    channel = build_channel(site=PARK, distance_m=5.0, seed=5)
+    assert channel.motion.acceleration_m_s2 == pytest.approx(PARK.current_speed_m_s)
+
+
+def test_build_link_pair_returns_forward_and_backward():
+    forward, backward = build_link_pair(site=LAKE, distance_m=5.0, seed=6)
+    assert isinstance(forward, UnderwaterAcousticChannel)
+    assert isinstance(backward, UnderwaterAcousticChannel)
+    assert backward.tx_device is forward.rx_device

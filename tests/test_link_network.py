@@ -1,0 +1,78 @@
+"""Tests for the multi-device messaging network layer."""
+
+import numpy as np
+import pytest
+
+from repro.app.codec import MessageCodec
+from repro.environments.sites import BRIDGE
+from repro.link.network import (
+    NetworkNode,
+    NetworkReport,
+    QueuedMessage,
+    UnderwaterMessagingNetwork,
+)
+
+
+def _node(name, device_id, messages, distance=6.0):
+    codec = MessageCodec()
+    node = NetworkNode(name=name, device_id=device_id, distance_to_receiver_m=distance)
+    for message_id in messages:
+        node.enqueue("leader", codec.encode_ids([message_id]))
+    return node
+
+
+def test_network_requires_nodes_and_unique_names():
+    with pytest.raises(ValueError):
+        UnderwaterMessagingNetwork([])
+    with pytest.raises(ValueError):
+        UnderwaterMessagingNetwork([_node("a", 1, [1]), _node("a", 2, [2])])
+
+
+def test_enqueue_builds_queue():
+    node = _node("a", 1, [3, 4, 5])
+    assert len(node.queue) == 3
+    assert isinstance(node.queue[0], QueuedMessage)
+    assert node.queue[0].sender == "a"
+    assert len(node.queue[0].payload_bits) == 16
+
+
+def test_single_node_delivers_messages():
+    node = _node("diver-1", 1, [0, 7], distance=5.0)
+    network = UnderwaterMessagingNetwork([node], site=BRIDGE, seed=3,
+                                         max_retransmissions=2)
+    report = network.run()
+    assert report.num_messages == 2
+    assert report.delivery_rate >= 0.5
+    assert report.collision_fraction == 0.0  # a single transmitter never collides
+    assert all(r.attempts >= 1 for r in report.records)
+
+
+def test_two_node_network_with_carrier_sense():
+    nodes = [_node("diver-1", 1, [0, 1], 5.0), _node("diver-2", 2, [2, 3], 7.0)]
+    network = UnderwaterMessagingNetwork(nodes, site=BRIDGE, seed=5,
+                                         carrier_sense=True, max_retransmissions=2)
+    report = network.run()
+    assert report.num_messages == 4
+    assert report.delivery_rate >= 0.5
+    assert report.collision_fraction <= 0.3
+
+
+def test_network_without_carrier_sense_collides_more():
+    def build(carrier_sense, seed):
+        nodes = [_node("diver-1", 1, list(range(6)), 5.0),
+                 _node("diver-2", 2, list(range(6, 12)), 7.0),
+                 _node("diver-3", 3, list(range(12, 18)), 9.0)]
+        return UnderwaterMessagingNetwork(nodes, site=BRIDGE, seed=seed,
+                                          carrier_sense=carrier_sense,
+                                          max_retransmissions=0)
+
+    with_cs = build(True, 11).run()
+    without_cs = build(False, 11).run()
+    assert without_cs.collision_fraction > with_cs.collision_fraction
+
+
+def test_report_statistics_handle_empty():
+    report = NetworkReport()
+    assert np.isnan(report.delivery_rate)
+    assert np.isnan(report.mean_attempts)
+    assert report.num_messages == 0

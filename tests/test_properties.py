@@ -1,0 +1,187 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.app.codec import MessageCodec
+from repro.core.adaptation import select_frequency_band
+from repro.core.config import OFDMConfig, ProtocolConfig
+from repro.core.feedback import FeedbackCodec
+from repro.core.ofdm import OFDMModulator
+from repro.core.tones import ToneCodec
+from repro.dsp.resample import fractional_delay
+from repro.dsp.sequences import zadoff_chu
+from repro.fec.convolutional import PuncturedConvolutionalCode
+from repro.fec.interleaver import SubcarrierInterleaver
+from repro.utils.units import db_to_power_ratio, power_ratio_to_db
+
+
+CONFIG = OFDMConfig()
+PROTOCOL = ProtocolConfig()
+CODE = PuncturedConvolutionalCode()
+TONE_CODEC = ToneCodec()
+FEEDBACK_CODEC = FeedbackCodec()
+MODULATOR = OFDMModulator(CONFIG)
+MESSAGE_CODEC = MessageCodec()
+
+_slow = settings(max_examples=25, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+
+# ----------------------------------------------------------------- units
+@given(st.floats(min_value=-120.0, max_value=120.0))
+def test_db_power_roundtrip_property(db):
+    assert power_ratio_to_db(db_to_power_ratio(db)) == pytest.approx(db, abs=1e-6)
+
+
+# ------------------------------------------------------------------- FEC
+@_slow
+@given(st.lists(st.integers(0, 1), min_size=2, max_size=64))
+def test_convolutional_code_roundtrip_property(bits):
+    if len(bits) % 2 == 1:
+        bits = bits + [0]
+    coded = CODE.encode(bits)
+    assert coded.size == CODE.coded_length(len(bits))
+    decoded = CODE.decode(coded, num_data_bits=len(bits))
+    np.testing.assert_array_equal(decoded, np.asarray(bits))
+
+
+@_slow
+@given(st.lists(st.integers(0, 1), min_size=16, max_size=16),
+       st.integers(min_value=0, max_value=15))
+def test_single_coded_bit_flip_is_corrected(bits, flip_position):
+    """Early coded-bit flips are always corrected by the unterminated code.
+
+    (Flips in the final constraint length of an *unterminated* stream have
+    weaker protection; the terminated variant is tested below.)
+    """
+    coded = CODE.encode(bits).astype(float)
+    coded[flip_position] = 1.0 - coded[flip_position]
+    decoded = CODE.decode(coded, num_data_bits=16)
+    np.testing.assert_array_equal(decoded, np.asarray(bits))
+
+
+@_slow
+@given(st.lists(st.integers(0, 1), min_size=16, max_size=16),
+       st.integers(min_value=0, max_value=23))
+def test_single_flip_corrected_by_terminated_code(bits, flip_position):
+    code = PuncturedConvolutionalCode(terminate=True)
+    coded = code.encode(bits).astype(float)
+    position = min(flip_position, coded.size - 1)
+    coded[position] = 1.0 - coded[position]
+    decoded = code.decode(coded, num_data_bits=16)
+    np.testing.assert_array_equal(decoded, np.asarray(bits))
+
+
+# ------------------------------------------------------------ interleaver
+@_slow
+@given(st.integers(min_value=1, max_value=60),
+       st.integers(min_value=0, max_value=200))
+def test_interleaver_roundtrip_property(bins, num_bits):
+    interleaver = SubcarrierInterleaver(bins)
+    rng = np.random.default_rng(num_bits)
+    bits = rng.integers(0, 2, num_bits)
+    grid = interleaver.interleave(bits)
+    assert grid.shape[0] == interleaver.num_symbols(num_bits)
+    recovered = interleaver.deinterleave(grid, num_bits)
+    np.testing.assert_array_equal(recovered, bits)
+
+
+@given(st.integers(min_value=1, max_value=60))
+def test_interleaver_order_is_permutation_property(bins):
+    order = SubcarrierInterleaver(bins).within_symbol_order
+    assert sorted(order.tolist()) == list(range(bins))
+
+
+# ------------------------------------------------------------- adaptation
+@_slow
+@given(st.lists(st.floats(min_value=-20.0, max_value=40.0),
+                min_size=60, max_size=60))
+def test_band_selection_invariants_property(snr_values):
+    snr = np.array(snr_values)
+    band = select_frequency_band(snr, CONFIG, PROTOCOL)
+    # Invariants: contiguity, bounds, and the SNR constraint when satisfied.
+    assert CONFIG.first_data_bin <= band.start_bin <= band.end_bin <= CONFIG.last_data_bin
+    assert band.num_bins == band.end_bin - band.start_bin + 1
+    if band.satisfied:
+        bonus = PROTOCOL.conservative_lambda * 10.0 * np.log10(60 / band.num_bins)
+        selected = snr[band.start_offset:band.end_offset + 1]
+        assert np.all(selected + bonus > PROTOCOL.snr_threshold_db)
+
+
+@_slow
+@given(st.lists(st.floats(min_value=-20.0, max_value=40.0),
+                min_size=60, max_size=60))
+def test_band_selection_maximality_property(snr_values):
+    """No strictly wider window may satisfy the constraint."""
+    snr = np.array(snr_values)
+    band = select_frequency_band(snr, CONFIG, PROTOCOL)
+    if not band.satisfied or band.num_bins == 60:
+        return
+    wider = band.num_bins + 1
+    bonus = PROTOCOL.conservative_lambda * 10.0 * np.log10(60 / wider)
+    windows = np.lib.stride_tricks.sliding_window_view(snr, wider)
+    assert not np.any(windows.min(axis=1) + bonus > PROTOCOL.snr_threshold_db)
+
+
+# ---------------------------------------------------------------- OFDM / tones
+@_slow
+@given(st.integers(min_value=0, max_value=59))
+def test_tone_codec_roundtrip_property(device_id):
+    symbol = TONE_CODEC.encode_id(device_id)
+    assert TONE_CODEC.decode(symbol).value == device_id
+
+
+@_slow
+@given(st.integers(min_value=20, max_value=79), st.integers(min_value=20, max_value=79))
+def test_feedback_roundtrip_property(bin_a, bin_b):
+    # Adjacent end bins are indistinguishable from spectral leakage and are
+    # excluded by the decoder design; equal bins (single-tone feedback) and
+    # all other separations must round-trip exactly.
+    assume(abs(bin_a - bin_b) != 1)
+    symbol = FEEDBACK_CODEC.encode(bin_a, bin_b)
+    padded = np.concatenate([np.zeros(100), symbol, np.zeros(1200)])
+    result = FEEDBACK_CODEC.decode(padded)
+    assert result.found
+    assert result.start_bin == min(bin_a, bin_b)
+    assert result.end_bin == max(bin_a, bin_b)
+
+
+@_slow
+@given(st.integers(min_value=1, max_value=60))
+def test_ofdm_power_normalization_property(num_bins):
+    bins = CONFIG.data_bins[:num_bins]
+    values = np.ones(num_bins, dtype=complex)
+    symbol = MODULATOR.modulate(values, bins, add_cyclic_prefix=False)
+    assert np.mean(symbol ** 2) == pytest.approx(1.0, rel=1e-6)
+
+
+# ---------------------------------------------------------------- sequences
+@given(st.integers(min_value=2, max_value=128), st.integers(min_value=1, max_value=64))
+def test_zadoff_chu_constant_amplitude_property(length, root):
+    seq = zadoff_chu(length, root)
+    assert seq.size == length
+    np.testing.assert_allclose(np.abs(seq), 1.0, atol=1e-10)
+
+
+# ---------------------------------------------------------------- resample
+@_slow
+@given(st.floats(min_value=0.0, max_value=20.0))
+def test_fractional_delay_conserves_peak_location_property(delay):
+    x = np.zeros(64)
+    x[10] = 1.0
+    delayed = fractional_delay(x, delay)
+    if 10 + delay <= 62:
+        assert abs(int(np.argmax(delayed)) - (10 + delay)) <= 1.0
+
+
+# ------------------------------------------------------------------- codec
+@_slow
+@given(st.integers(min_value=0, max_value=239),
+       st.integers(min_value=0, max_value=239))
+def test_message_codec_roundtrip_property(first, second):
+    bits = MESSAGE_CODEC.encode_ids([first, second])
+    assert bits.size == 16
+    assert MESSAGE_CODEC.decode_ids(bits) == [first, second]

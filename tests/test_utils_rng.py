@@ -1,0 +1,39 @@
+"""Tests for RNG handling."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+def test_ensure_rng_accepts_none():
+    assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+def test_ensure_rng_seed_is_deterministic():
+    a = ensure_rng(42).integers(0, 1000, 10)
+    b = ensure_rng(42).integers(0, 1000, 10)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_ensure_rng_passes_generator_through():
+    gen = np.random.default_rng(7)
+    assert ensure_rng(gen) is gen
+
+
+def test_spawn_rngs_count_and_independence():
+    rngs = spawn_rngs(3, 5)
+    assert len(rngs) == 5
+    draws = [r.integers(0, 10 ** 9) for r in rngs]
+    assert len(set(draws)) > 1
+
+
+def test_spawn_rngs_deterministic():
+    first = [r.integers(0, 10 ** 9) for r in spawn_rngs(11, 4)]
+    second = [r.integers(0, 10 ** 9) for r in spawn_rngs(11, 4)]
+    assert first == second
+
+
+def test_spawn_rngs_negative_count_raises():
+    with pytest.raises(ValueError):
+        spawn_rngs(0, -1)
