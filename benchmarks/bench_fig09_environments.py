@@ -13,29 +13,39 @@ sites.
 
 import numpy as np
 
-from benchmarks._common import CDF_PERCENTILES, cdf_row, print_figure, run_link, scheme_label
+from benchmarks._common import (
+    ALL_SCHEMES, CDF_PERCENTILES, cdf_row, print_figure, runner, scheme_label,
+)
 from repro.core.baselines import FIXED_BAND_SCHEMES
 from repro.environments.sites import BRIDGE, LAKE, PARK
+from repro.experiments import Scenario, Sweep
 
 SITES = (BRIDGE, PARK, LAKE)
 NUM_PACKETS = 25
 
+#: One scenario per (site, scheme); the seed follows the site index so the
+#: numbers match the original hand-rolled loops exactly.
+SWEEP = (
+    Sweep(Scenario(distance_m=5.0, num_packets=NUM_PACKETS))
+    .paired(site=list(SITES), seed=[20 + i for i in range(len(SITES))])
+    .over(scheme=list(ALL_SCHEMES))
+)
+
 
 def _run():
+    results = runner().run(SWEEP)
     bitrate_rows, per_rows, band_rows = [], [], []
     adaptive_pers = {}
-    for i, site in enumerate(SITES):
-        stats = run_link(site, 5.0, "adaptive", NUM_PACKETS, seed=20 + i)
-        adaptive_pers[site.name] = stats.packet_error_rate
-        bitrate_rows.append([site.name] + cdf_row(stats.bitrates_bps))
-        bands = [(r.receiver_band.start_frequency_hz, r.receiver_band.end_frequency_hz)
-                 for r in stats.results if r.receiver_band is not None]
-        if bands:
-            starts, ends = zip(*bands)
-            band_rows.append([site.name, f"{np.median(starts):.0f}", f"{np.median(ends):.0f}"])
-        per_row = [site.name, f"{stats.packet_error_rate:.2f}"]
-        for j, scheme in enumerate(FIXED_BAND_SCHEMES):
-            fixed = run_link(site, 5.0, scheme, NUM_PACKETS, seed=20 + i)
+    for site in SITES:
+        adaptive = results.lookup(site=site, scheme="adaptive")
+        adaptive_pers[site.name] = adaptive.packet_error_rate
+        bitrate_rows.append([site.name] + cdf_row(adaptive.finite_bitrates_bps))
+        start_hz, end_hz = adaptive.median_band_edges_hz()
+        if np.isfinite(start_hz):
+            band_rows.append([site.name, f"{start_hz:.0f}", f"{end_hz:.0f}"])
+        per_row = [site.name, f"{adaptive.packet_error_rate:.2f}"]
+        for scheme in FIXED_BAND_SCHEMES:
+            fixed = results.lookup(site=site, scheme=scheme)
             per_row.append(f"{fixed.packet_error_rate:.2f}")
         per_rows.append(per_row)
     return bitrate_rows, band_rows, per_rows, adaptive_pers

@@ -6,27 +6,40 @@ strongest, raising the PER of the fixed-bandwidth schemes, while the
 adaptive scheme obtains significantly lower PER at every depth.
 """
 
-from benchmarks._common import CDF_PERCENTILES, cdf_row, print_figure, run_link, scheme_label
+from benchmarks._common import (
+    ALL_SCHEMES, CDF_PERCENTILES, cdf_row, print_figure, runner, scheme_label,
+)
 from repro.core.baselines import FIXED_BAND_SCHEMES
 from repro.environments.sites import MUSEUM
+from repro.experiments import Scenario, Sweep
 
 DEPTHS_M = (2.0, 5.0, 7.0)
 NUM_PACKETS = 20
 
+#: Both phones share the depth, and the seed follows the depth index.
+SWEEP = (
+    Sweep(Scenario(site=MUSEUM, distance_m=5.0, num_packets=NUM_PACKETS))
+    .paired(
+        tx_depth_m=list(DEPTHS_M),
+        rx_depth_m=list(DEPTHS_M),
+        seed=[60 + i for i in range(len(DEPTHS_M))],
+    )
+    .over(scheme=list(ALL_SCHEMES))
+)
+
 
 def _run():
+    results = runner().run(SWEEP)
     bitrate_rows, per_rows = [], []
     adaptive_pers, fixed_pers = [], []
-    for i, depth in enumerate(DEPTHS_M):
-        adaptive = run_link(MUSEUM, 5.0, "adaptive", NUM_PACKETS, seed=60 + i,
-                            tx_depth_m=depth, rx_depth_m=depth)
-        bitrate_rows.append([f"{depth:.0f} m"] + cdf_row(adaptive.bitrates_bps))
+    for depth in DEPTHS_M:
+        adaptive = results.lookup(tx_depth_m=depth, scheme="adaptive")
+        bitrate_rows.append([f"{depth:.0f} m"] + cdf_row(adaptive.finite_bitrates_bps))
         row = [f"{depth:.0f} m", f"{adaptive.packet_error_rate:.2f}"]
         adaptive_pers.append(adaptive.packet_error_rate)
         worst_fixed = 0.0
         for scheme in FIXED_BAND_SCHEMES:
-            fixed = run_link(MUSEUM, 5.0, scheme, NUM_PACKETS, seed=60 + i,
-                             tx_depth_m=depth, rx_depth_m=depth)
+            fixed = results.lookup(tx_depth_m=depth, scheme=scheme)
             row.append(f"{fixed.packet_error_rate:.2f}")
             worst_fixed = max(worst_fixed, fixed.packet_error_rate)
         fixed_pers.append(worst_fixed)

@@ -11,29 +11,43 @@ quickly with distance and their PER reaches 100 % at 30 m, while the
 adaptive scheme stays around 7 %.
 """
 
-from benchmarks._common import CDF_PERCENTILES, cdf_row, print_figure, run_link, scheme_label
+from benchmarks._common import (
+    ALL_SCHEMES, CDF_PERCENTILES, cdf_row, print_figure, runner, scheme_label,
+)
 from repro.core.baselines import FIXED_BAND_SCHEMES
 from repro.environments.sites import LAKE
+from repro.experiments import Scenario, Sweep
 
 DISTANCES_M = (5.0, 10.0, 20.0, 30.0)
 NUM_PACKETS = 25
 
+#: One scenario per (distance, scheme), seed following the distance index.
+SWEEP = (
+    Sweep(Scenario(site=LAKE, num_packets=NUM_PACKETS))
+    .paired(
+        distance_m=list(DISTANCES_M),
+        seed=[80 + i for i in range(len(DISTANCES_M))],
+    )
+    .over(scheme=list(ALL_SCHEMES))
+)
+
 
 def _run():
+    results = runner().run(SWEEP)
     bitrate_rows, ber_rows, per_rows = [], [], []
     medians = {}
     adaptive_per_30 = None
     fixed_per_30 = []
-    for i, distance in enumerate(DISTANCES_M):
-        adaptive = run_link(LAKE, distance, "adaptive", NUM_PACKETS, seed=80 + i)
+    for distance in DISTANCES_M:
+        adaptive = results.lookup(distance_m=distance, scheme="adaptive")
         medians[distance] = adaptive.median_bitrate_bps
-        bitrate_rows.append([f"{distance:.0f} m"] + cdf_row(adaptive.bitrates_bps))
+        bitrate_rows.append([f"{distance:.0f} m"] + cdf_row(adaptive.finite_bitrates_bps))
         ber_row = [f"{distance:.0f} m", f"{adaptive.coded_bit_error_rate:.3f}"]
         per_row = [f"{distance:.0f} m", f"{adaptive.packet_error_rate:.2f}"]
         if distance == 30.0:
             adaptive_per_30 = adaptive.packet_error_rate
         for scheme in FIXED_BAND_SCHEMES:
-            fixed = run_link(LAKE, distance, scheme, NUM_PACKETS, seed=80 + i)
+            fixed = results.lookup(distance_m=distance, scheme=scheme)
             ber_row.append(f"{fixed.coded_bit_error_rate:.3f}")
             per_row.append(f"{fixed.packet_error_rate:.2f}")
             if distance == 30.0:

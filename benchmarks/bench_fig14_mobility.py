@@ -10,11 +10,10 @@ bps (slow/fast); PER rises from ~1 % to ~8 %; without differential coding
 the BER exceeds 10 % under motion while with it the BER stays near 1 %.
 """
 
-from benchmarks._common import CDF_PERCENTILES, cdf_row, print_figure, run_link
+from benchmarks._common import CDF_PERCENTILES, cdf_row, print_figure, runner
 from repro.channel.motion import FAST_MOTION, SLOW_MOTION, STATIC_MOTION
-from repro.core.config import ProtocolConfig
-from repro.core.modem import AquaModem
 from repro.environments.sites import LAKE
+from repro.experiments import ModemSpec, Scenario, Sweep
 
 MOTIONS = (("static", STATIC_MOTION), ("slow", SLOW_MOTION), ("fast", FAST_MOTION))
 NUM_PACKETS = 20
@@ -24,23 +23,41 @@ NUM_PACKETS = 20
 LONG_PAYLOAD_BITS = 192
 LONG_PACKETS = 8
 
+_MOTION_MODELS = [motion for _, motion in MOTIONS]
+
+#: Standard short-packet runs, seed following the motion index.
+STANDARD_SWEEP = (
+    Sweep(Scenario(site=LAKE, distance_m=5.0, num_packets=NUM_PACKETS))
+    .paired(motion=_MOTION_MODELS, seed=[140 + i for i in range(len(MOTIONS))])
+)
+
+#: Long-burst runs with and without differential coding, sharing seeds so
+#: the two ablations see identical channels.
+DIFFERENTIAL_SWEEP = (
+    Sweep(Scenario(site=LAKE, distance_m=5.0, num_packets=LONG_PACKETS))
+    .paired(motion=_MOTION_MODELS, seed=[340 + i for i in range(len(MOTIONS))])
+    .over(modem=[
+        ModemSpec(payload_bits=LONG_PAYLOAD_BITS),
+        ModemSpec(payload_bits=LONG_PAYLOAD_BITS, use_differential=False),
+    ])
+)
+
 
 def _run():
-    long_protocol = ProtocolConfig(payload_bits=LONG_PAYLOAD_BITS)
-    modem_diff_long = AquaModem(protocol_config=long_protocol)
-    modem_no_diff_long = AquaModem(protocol_config=long_protocol, use_differential=False)
+    results = runner().run(list(STANDARD_SWEEP) + list(DIFFERENTIAL_SWEEP))
     bitrate_rows, per_rows, ber_rows = [], [], []
     pers, bers_with, bers_without = {}, {}, {}
-    for i, (label, motion) in enumerate(MOTIONS):
-        standard = run_link(LAKE, 5.0, "adaptive", NUM_PACKETS, seed=140 + i, motion=motion)
-        with_diff = run_link(LAKE, 5.0, "adaptive", LONG_PACKETS, seed=340 + i,
-                             motion=motion, modem=modem_diff_long)
-        without_diff = run_link(LAKE, 5.0, "adaptive", LONG_PACKETS, seed=340 + i,
-                                motion=motion, modem=modem_no_diff_long)
+    for label, motion in MOTIONS:
+        standard = results.lookup(motion=motion, num_packets=NUM_PACKETS)
+        with_diff = results.lookup(
+            motion=motion, modem=ModemSpec(payload_bits=LONG_PAYLOAD_BITS))
+        without_diff = results.lookup(
+            motion=motion,
+            modem=ModemSpec(payload_bits=LONG_PAYLOAD_BITS, use_differential=False))
         pers[label] = standard.packet_error_rate
         bers_with[label] = with_diff.coded_bit_error_rate
         bers_without[label] = without_diff.coded_bit_error_rate
-        bitrate_rows.append([label] + cdf_row(standard.bitrates_bps))
+        bitrate_rows.append([label] + cdf_row(standard.finite_bitrates_bps))
         per_rows.append([label, f"{standard.packet_error_rate:.2f}"])
         ber_rows.append([label, f"{with_diff.coded_bit_error_rate:.3f}",
                          f"{without_diff.coded_bit_error_rate:.3f}"])

@@ -6,27 +6,39 @@ degrees to 567 bps at 180 degrees, while the adaptive scheme keeps the PER
 low at all angles (unlike the fixed bands, which degrade at large angles).
 """
 
-from benchmarks._common import CDF_PERCENTILES, cdf_row, print_figure, run_link, scheme_label
+from benchmarks._common import (
+    ALL_SCHEMES, CDF_PERCENTILES, cdf_row, print_figure, runner, scheme_label,
+)
 from repro.core.baselines import FIXED_BAND_SCHEMES
 from repro.environments.sites import BRIDGE
+from repro.experiments import Scenario, Sweep
 
 ANGLES_DEG = (0.0, 45.0, 90.0, 135.0, 180.0)
 NUM_PACKETS = 15
 
+#: One scenario per (angle, scheme), seed following the angle index.
+SWEEP = (
+    Sweep(Scenario(site=BRIDGE, distance_m=5.0, num_packets=NUM_PACKETS))
+    .paired(
+        orientation_deg=list(ANGLES_DEG),
+        seed=[150 + i for i in range(len(ANGLES_DEG))],
+    )
+    .over(scheme=list(ALL_SCHEMES))
+)
+
 
 def _run():
+    results = runner().run(SWEEP)
     bitrate_rows, per_rows = [], []
     medians, adaptive_pers = {}, {}
-    for i, angle in enumerate(ANGLES_DEG):
-        adaptive = run_link(BRIDGE, 5.0, "adaptive", NUM_PACKETS, seed=150 + i,
-                            orientation_deg=angle)
+    for angle in ANGLES_DEG:
+        adaptive = results.lookup(orientation_deg=angle, scheme="adaptive")
         medians[angle] = adaptive.median_bitrate_bps
         adaptive_pers[angle] = adaptive.packet_error_rate
-        bitrate_rows.append([f"{angle:.0f} deg"] + cdf_row(adaptive.bitrates_bps))
+        bitrate_rows.append([f"{angle:.0f} deg"] + cdf_row(adaptive.finite_bitrates_bps))
         row = [f"{angle:.0f} deg", f"{adaptive.packet_error_rate:.2f}"]
         for scheme in FIXED_BAND_SCHEMES:
-            fixed = run_link(BRIDGE, 5.0, scheme, NUM_PACKETS, seed=150 + i,
-                             orientation_deg=angle)
+            fixed = results.lookup(orientation_deg=angle, scheme=scheme)
             row.append(f"{fixed.packet_error_rate:.2f}")
         per_rows.append(row)
     return bitrate_rows, per_rows, medians, adaptive_pers

@@ -4,17 +4,17 @@ Every benchmark prints the rows/series of the paper figure it reproduces in
 addition to being timed by pytest-benchmark.  Because pytest captures
 per-test stdout, the collected figure tables are re-emitted in the terminal
 summary (so they land in ``bench_output.txt``) and are also appended to
-``benchmarks/results/figure_tables.txt`` for later inspection.
+``benchmarks/results/figure_tables.txt`` for later inspection.  The results
+file is truncated once per pytest session (by the first table written), so
+it reflects the latest session instead of growing without bound.
 """
-
-import pathlib
 
 
 def pytest_sessionstart(session):
-    # Start each benchmark session with a fresh results file.
-    results = pathlib.Path(__file__).parent / "results" / "figure_tables.txt"
-    if results.exists():
-        results.unlink()
+    # The first figure table of this session truncates the results file.
+    from benchmarks._common import reset_results_file
+
+    reset_results_file()
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

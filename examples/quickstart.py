@@ -11,6 +11,10 @@ the paper) between two simulated Galaxy S9 phones submerged 1 m deep and
 4. Alice encodes 16 payload bits (two hand-signal messages) inside the band
    and transmits; Bob equalizes, demodulates and Viterbi-decodes them.
 
+It then reruns the same experiment declaratively through
+:mod:`repro.experiments` -- the one-scenario version of how the benchmark
+suite sweeps whole parameter grids.
+
 Run with:  python examples/quickstart.py
 """
 
@@ -22,6 +26,7 @@ from repro.app.codec import MessageCodec
 from repro.app.messages import get_message
 from repro.core.modem import AquaModem
 from repro.environments import LAKE, build_link_pair
+from repro.experiments import ExperimentRunner, Scenario, Sweep
 
 
 def main() -> None:
@@ -96,6 +101,19 @@ def main() -> None:
             print(f"  [{message.message_id:3d}] {message.text}")
     else:
         print("The packet was corrupted; Alice would retransmit after the missing ACK.")
+
+    # --- The declarative way --------------------------------------------
+    # The same experiment as a Scenario, plus a two-distance mini sweep run
+    # through the experiment runner (this is what the benchmark suite does
+    # at scale, with worker processes and a result cache).
+    print("\nThe same link, declaratively (repro.experiments):")
+    sweep = (
+        Sweep(Scenario(site=LAKE, distance_m=5.0, num_packets=4))
+        .over(distance_m=[5.0, 10.0])
+        .seeded(7)
+    )
+    results = ExperimentRunner(max_workers=1).run(sweep)
+    print(results.to_table())
 
 
 if __name__ == "__main__":

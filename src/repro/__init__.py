@@ -22,13 +22,29 @@ SIGCOMM 2022).  It contains:
   catalog, message codec, SoS beacons).
 * :mod:`repro.analysis` -- BER/PER/CDF analysis helpers used by the
   benchmark harness.
+* :mod:`repro.experiments` -- the declarative experiment layer: a frozen
+  :class:`~repro.experiments.Scenario` describes one evaluation point, a
+  :class:`~repro.experiments.Sweep` expands parameter grids, and an
+  :class:`~repro.experiments.ExperimentRunner` executes them across worker
+  processes (with deterministic per-scenario seeding and an optional
+  on-disk result cache) into a serializable
+  :class:`~repro.experiments.ResultSet`.
 """
 
 from repro.core.config import OFDMConfig, ProtocolConfig
 from repro.core.modem import AquaModem
+from repro.experiments import (
+    ExperimentRunner,
+    ModemSpec,
+    ResultSet,
+    RunRecord,
+    Scenario,
+    Sweep,
+    run_scenario,
+)
 from repro.link.session import LinkSession, LinkStatistics, PacketResult
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "OFDMConfig",
@@ -37,5 +53,12 @@ __all__ = [
     "LinkSession",
     "LinkStatistics",
     "PacketResult",
+    "Scenario",
+    "ModemSpec",
+    "Sweep",
+    "ExperimentRunner",
+    "ResultSet",
+    "RunRecord",
+    "run_scenario",
     "__version__",
 ]

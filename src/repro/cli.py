@@ -4,12 +4,15 @@ Provides quick access to the most common experiments without writing any
 code::
 
     python -m repro.cli link --site lake --distance 10 --packets 20
+    python -m repro.cli sweep --site lake --distance 5 10 20 --scheme adaptive fixed-3k
     python -m repro.cli sos --distance 100 --rate 10 --repetitions 5
     python -m repro.cli mac --transmitters 3 --packets 120
     python -m repro.cli sites
 
 Each subcommand prints a small report mirroring the metrics the paper uses
-(selected bitrate, PER, BER, detection rates, collision fractions).
+(selected bitrate, PER, BER, detection rates, collision fractions).  The
+``sweep`` subcommand expands a parameter grid with
+:mod:`repro.experiments` and runs it across worker processes.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from repro.channel.motion import MOTION_PRESETS
 from repro.core.baselines import FIXED_BAND_SCHEMES
 from repro.environments.factory import build_channel, build_link_pair
 from repro.environments.sites import SITE_CATALOG
+from repro.experiments import SCHEME_CATALOG, ExperimentRunner, Scenario, Sweep
 from repro.link.session import LinkSession
 from repro.mac.simulator import MacNetworkSimulator, TransmitterConfig
 
@@ -38,6 +42,38 @@ def _add_link_parser(subparsers) -> None:
     parser.add_argument("--scheme", choices=["adaptive", "fixed-3k", "fixed-1.5k", "fixed-0.5k"],
                         default="adaptive")
     parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_sweep_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "sweep",
+        help="run a declarative grid of link experiments, in parallel",
+        description="Expand a parameter grid into scenarios and run them with "
+                    "the experiment runner.  Every axis flag accepts several "
+                    "values; the grid is their cartesian product, and each "
+                    "scenario gets a deterministic seed derived from --seed.",
+    )
+    parser.add_argument("--site", nargs="+", choices=sorted(SITE_CATALOG), default=["lake"])
+    parser.add_argument("--distance", nargs="+", type=float, default=[5.0],
+                        help="distances in metres")
+    parser.add_argument("--depth", nargs="+", type=float, default=[1.0],
+                        help="device depths in metres")
+    parser.add_argument("--orientation", nargs="+", type=float, default=[0.0],
+                        help="azimuth offsets in degrees")
+    parser.add_argument("--motion", nargs="+", choices=sorted(MOTION_PRESETS),
+                        default=["static"])
+    parser.add_argument("--scheme", nargs="+", choices=sorted(SCHEME_CATALOG),
+                        default=["adaptive"])
+    parser.add_argument("--packets", type=int, default=20, help="packets per scenario")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="scenario i uses seed + i")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: one per core, capped "
+                             "at the number of scenarios; 1 = serial)")
+    parser.add_argument("--cache", metavar="DIR", default=None,
+                        help="cache results as JSON under DIR, keyed by scenario hash")
+    parser.add_argument("--json", metavar="FILE", dest="json_path", default=None,
+                        help="also write the result set to FILE as JSON")
 
 
 def _add_sos_parser(subparsers) -> None:
@@ -66,6 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_link_parser(subparsers)
+    _add_sweep_parser(subparsers)
     _add_sos_parser(subparsers)
     _add_mac_parser(subparsers)
     subparsers.add_parser("sites", help="list the simulated evaluation sites")
@@ -96,6 +133,41 @@ def _run_link(args) -> int:
     print(f"  uncoded (coded-stream) BER: {stats.coded_bit_error_rate:.3f}")
     print(f"  preamble detection rate  : {stats.preamble_detection_rate:.1%}")
     print(f"  feedback error rate      : {stats.feedback_error_rate:.1%}")
+    return 0
+
+
+def _run_sweep(args) -> int:
+    try:
+        sweep = (
+            Sweep(Scenario(num_packets=args.packets))
+            .over(
+                site=args.site,
+                distance_m=args.distance,
+                tx_depth_m=args.depth,
+                orientation_deg=args.orientation,
+                motion=args.motion,
+                scheme=args.scheme,
+            )
+            .seeded(args.seed)
+        )
+        scenarios = sweep.scenarios()
+        runner = ExperimentRunner(max_workers=args.workers, cache_dir=args.cache)
+    except ValueError as error:
+        # Invalid grid parameters (bad distance/range, worker count, ...);
+        # genuine simulation errors during the run keep their tracebacks.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    results = runner.run(scenarios)
+    workers = args.workers if args.workers is not None else "auto"
+    print(f"{len(scenarios)} scenario(s), {args.packets} packets each, "
+          f"workers={workers}"
+          + (f", cache hits {runner.last_cache_hits}/{len(scenarios)}"
+             if args.cache else ""))
+    print(results.to_table())
+    print(f"  total simulated work     : {results.total_elapsed_s:.1f} s")
+    if args.json_path:
+        path = results.save(args.json_path)
+        print(f"  results written to       : {path}")
     return 0
 
 
@@ -146,6 +218,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "link": _run_link,
+        "sweep": _run_sweep,
         "sos": _run_sos,
         "mac": _run_mac,
         "sites": _run_sites,

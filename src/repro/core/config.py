@@ -171,6 +171,12 @@ class ProtocolConfig:
     feedback_search_step:
         Step in samples of the sliding FFT used to locate the feedback
         symbol at the original sender.
+    ack_dominance_threshold:
+        Minimum fraction of the in-band energy the ACK tone must carry for
+        a received single-tone symbol to count as an acknowledgement.
+        Noise spreads energy over all 60 data bins, so a genuine ACK
+        dominates its bin; 0.2 rejects noise-only symbols while tolerating
+        frequency-selective fading of the tone itself.
     carrier_sense_interval_s:
         How often the MAC layer measures in-band energy (80 ms).
     max_range_m:
@@ -188,6 +194,7 @@ class ProtocolConfig:
     equalizer_num_taps: int = 480
     payload_bits: int = 16
     feedback_search_step: int = 16
+    ack_dominance_threshold: float = 0.2
     carrier_sense_interval_s: float = 0.08
     max_range_m: float = 30.0
     code_rate: float = 2.0 / 3.0
@@ -206,6 +213,8 @@ class ProtocolConfig:
         require_positive(self.payload_bits, "payload_bits")
         if not 0 < self.sliding_correlation_threshold < 1:
             raise ValueError("sliding_correlation_threshold must be in (0, 1)")
+        if not 0 < self.ack_dominance_threshold < 1:
+            raise ValueError("ack_dominance_threshold must be in (0, 1)")
 
     @property
     def pn_signs_array(self) -> np.ndarray:

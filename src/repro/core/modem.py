@@ -181,7 +181,7 @@ class AquaModem:
     def decode_ack(self, received_symbol: np.ndarray) -> bool:
         """Return whether the received single-tone symbol is an ACK."""
         result = self.tone_codec.decode(received_symbol)
-        return result.is_ack and result.dominance > 0.2
+        return result.is_ack and result.dominance > self.protocol_config.ack_dominance_threshold
 
     # ------------------------------------------------------------- accounting
     def bitrate_for_band(self, band: BandSelection, include_cyclic_prefix: bool = False) -> float:

@@ -1,0 +1,149 @@
+"""Parallel scenario execution with an optional on-disk result cache.
+
+:class:`ExperimentRunner` turns a list of scenarios (or a
+:class:`~repro.experiments.sweep.Sweep`) into a
+:class:`~repro.experiments.records.ResultSet`:
+
+* scenarios are independent -- each carries its own seed and builds its
+  own channels -- so they are dispatched to a
+  :class:`concurrent.futures.ProcessPoolExecutor` in chunks and the
+  records are reassembled in submission order;
+* because seeding is per scenario, a parallel run is bit-identical to a
+  serial run of the same scenarios (``max_workers=1`` short-circuits the
+  pool entirely, which is also the fallback when only one scenario is
+  pending);
+* with ``cache_dir`` set, finished records are written to
+  ``<cache_dir>/<scenario_hash>-<package version>.json`` and later runs
+  of the same scenario (same hash, same version) are served from disk
+  without re-simulating.  Keying by the package version invalidates every
+  entry when the simulation code changes, so a cached sweep can never
+  silently report numbers computed by older code.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import pathlib
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable
+
+from repro.experiments.records import ResultSet, RunRecord
+from repro.experiments.scenario import Scenario, run_scenario
+
+
+def _execute_scenario(scenario: Scenario) -> RunRecord:
+    """Run one scenario and wrap it into a record (process-pool target)."""
+    started = time.perf_counter()
+    stats = run_scenario(scenario)
+    return RunRecord.from_statistics(scenario, stats, elapsed_s=time.perf_counter() - started)
+
+
+class ExperimentRunner:
+    """Executes scenarios, in parallel when it pays off.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker processes to use.  ``None`` picks ``min(num scenarios,
+        cpu count)``; ``0`` or ``1`` forces serial in-process execution.
+    cache_dir:
+        Directory for the JSON result cache; ``None`` disables caching.
+    chunk_size:
+        Scenarios per dispatch chunk.  ``None`` balances chunks so every
+        worker receives a few, amortizing pickling overhead on large
+        sweeps without starving workers on small ones.
+    progress:
+        Optional callback invoked as ``progress(done, total, record)``
+        after every completed scenario (cache hits included).
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        cache_dir: str | pathlib.Path | None = None,
+        chunk_size: int | None = None,
+        progress: Callable[[int, int, RunRecord], None] | None = None,
+    ) -> None:
+        if max_workers is not None and max_workers < 0:
+            raise ValueError("max_workers must be non-negative")
+        self.max_workers = max_workers
+        self.cache_dir = pathlib.Path(cache_dir) if cache_dir is not None else None
+        self.chunk_size = chunk_size
+        self.progress = progress
+        #: Number of cache hits during the most recent :meth:`run`.
+        self.last_cache_hits = 0
+
+    # -------------------------------------------------------------- caching
+    def _cache_path(self, scenario: Scenario) -> pathlib.Path:
+        assert self.cache_dir is not None
+        from repro import __version__  # deferred: repro imports this module
+
+        return self.cache_dir / f"{scenario.scenario_hash()}-{__version__}.json"
+
+    def _load_cached(self, scenario: Scenario) -> RunRecord | None:
+        if self.cache_dir is None:
+            return None
+        path = self._cache_path(scenario)
+        if not path.exists():
+            return None
+        try:
+            record = ResultSet.load(path).records[0]
+        except (ValueError, KeyError, IndexError, LookupError, TypeError, OSError):
+            return None  # corrupt, stale or unreadable cache entry: recompute
+        # Hash collisions are unlikely but cheap to rule out.
+        return record if record.scenario == scenario else None
+
+    def _store_cached(self, record: RunRecord) -> None:
+        if self.cache_dir is None:
+            return
+        ResultSet([record]).save(self._cache_path(record.scenario), include_timing=True)
+
+    # -------------------------------------------------------------- running
+    def run(self, scenarios: Iterable[Scenario]) -> ResultSet:
+        """Execute the scenarios and return their records in order."""
+        ordered = list(scenarios)
+        slots: list[RunRecord | None] = [None] * len(ordered)
+        self.last_cache_hits = 0
+
+        pending: list[tuple[int, Scenario]] = []
+        for index, scenario in enumerate(ordered):
+            cached = self._load_cached(scenario)
+            if cached is not None:
+                slots[index] = cached
+                self.last_cache_hits += 1
+            else:
+                pending.append((index, scenario))
+
+        total = len(ordered)
+        done = 0
+        for record in slots:
+            if record is not None:
+                done += 1
+                if self.progress is not None:
+                    self.progress(done, total, record)
+
+        workers = self.max_workers
+        if workers is None:
+            workers = min(len(pending), os.cpu_count() or 1)
+        if pending:
+            to_run = [s for _, s in pending]
+            with contextlib.ExitStack() as stack:
+                if workers <= 1 or len(pending) == 1:
+                    record_iter = map(_execute_scenario, to_run)
+                else:
+                    chunk = self.chunk_size
+                    if chunk is None:
+                        chunk = max(1, len(pending) // (4 * workers))
+                    pool = stack.enter_context(ProcessPoolExecutor(max_workers=workers))
+                    record_iter = pool.map(_execute_scenario, to_run, chunksize=chunk)
+                for (index, _), record in zip(pending, record_iter):
+                    slots[index] = record
+                    self._store_cached(record)
+                    done += 1
+                    if self.progress is not None:
+                        self.progress(done, total, record)
+
+        assert all(record is not None for record in slots)
+        return ResultSet(slots)  # type: ignore[arg-type]

@@ -33,6 +33,49 @@ def test_link_command_with_fixed_scheme(capsys):
     assert "scheme=fixed-0.5k" in capsys.readouterr().out
 
 
+def test_sweep_command_runs_grid(capsys):
+    code = main(["sweep", "--site", "bridge", "--distance", "5", "10",
+                 "--packets", "2", "--workers", "1", "--seed", "1"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "2 scenario(s)" in output
+    assert "median_bps" in output
+    assert output.count("bridge") >= 2
+
+
+def test_sweep_command_writes_json(capsys, tmp_path):
+    out = tmp_path / "sweep.json"
+    code = main(["sweep", "--site", "bridge", "--distance", "5",
+                 "--scheme", "adaptive", "fixed-0.5k",
+                 "--packets", "2", "--workers", "1", "--seed", "3",
+                 "--json", str(out)])
+    assert code == 0
+    from repro.experiments import ResultSet
+
+    results = ResultSet.load(out)
+    assert len(results) == 2
+    assert {r.scenario.scheme_key for r in results} == {"adaptive", "fixed-0.5k"}
+    # Deterministic per-scenario seeding: seed + index.
+    assert [r.scenario.seed for r in results] == [3, 4]
+
+
+def test_sweep_command_uses_cache(capsys, tmp_path):
+    cache = tmp_path / "cache"
+    args = ["sweep", "--site", "bridge", "--distance", "5", "--packets", "2",
+            "--workers", "1", "--seed", "5", "--cache", str(cache)]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert "cache hits 0/1" in first
+    assert main(args) == 0
+    second = capsys.readouterr().out
+    assert "cache hits 1/1" in second
+
+
+def test_sweep_rejects_unknown_scheme():
+    with pytest.raises(SystemExit):
+        main(["sweep", "--scheme", "fixed-9k"])
+
+
 def test_sos_command(capsys):
     code = main(["sos", "--distance", "50", "--rate", "20", "--repetitions", "2",
                  "--seed", "3"])

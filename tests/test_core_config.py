@@ -81,6 +81,7 @@ def test_protocol_defaults_match_paper():
     assert protocol.code_rate == pytest.approx(2.0 / 3.0)
     assert protocol.constraint_length == 7
     assert protocol.carrier_sense_interval_s == pytest.approx(0.08)
+    assert protocol.ack_dominance_threshold == pytest.approx(0.2)
 
 
 def test_protocol_validation():
@@ -92,6 +93,10 @@ def test_protocol_validation():
         ProtocolConfig(snr_threshold_db=-1.0)
     with pytest.raises(ValueError):
         ProtocolConfig(sliding_correlation_threshold=1.5)
+    with pytest.raises(ValueError):
+        ProtocolConfig(ack_dominance_threshold=0.0)
+    with pytest.raises(ValueError):
+        ProtocolConfig(ack_dominance_threshold=1.0)
 
 
 def test_pn_signs_array():

@@ -79,6 +79,17 @@ def test_ack_roundtrip(static_modem, rng):
     assert not static_modem.decode_ack(rng.standard_normal(ack.size))
 
 
+def test_ack_dominance_threshold_is_configurable(static_modem):
+    from repro.core.config import ProtocolConfig
+
+    # An ACK tone plus a half-amplitude interfering tone: the ACK bin holds
+    # 1 / (1 + 0.25) = 80 % of the in-band energy.
+    mixed = static_modem.build_ack() + 0.5 * static_modem.tone_codec.encode_id(5)
+    assert static_modem.decode_ack(mixed)  # default threshold 0.2
+    strict = AquaModem(protocol_config=ProtocolConfig(ack_dominance_threshold=0.9))
+    assert not strict.decode_ack(mixed)
+
+
 def test_bitrate_for_band(static_modem):
     band = selection_from_bins(20, 23, static_modem.ofdm_config)  # 4 bins
     assert static_modem.bitrate_for_band(band) == pytest.approx(133.33, rel=1e-3)

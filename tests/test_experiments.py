@@ -1,0 +1,347 @@
+"""Tests for the declarative experiment API (repro.experiments)."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.experiments.runner as runner_module
+from repro.core.baselines import FIXED_FULL_BAND, FIXED_NARROW_BAND
+from repro.environments.sites import BRIDGE, LAKE
+from repro.experiments import (
+    ExperimentRunner,
+    ModemSpec,
+    ResultSet,
+    RunRecord,
+    Scenario,
+    Sweep,
+    run_scenario,
+)
+
+
+# --------------------------------------------------------------- Scenario
+def test_scenario_resolves_catalog_keys():
+    scenario = Scenario(site="bridge", motion="slow", tx_device="pixel_4",
+                        case="hard_case", scheme="fixed-3k")
+    assert scenario.site is BRIDGE
+    assert scenario.motion.name == "slow"
+    assert scenario.tx_device.name == "Google Pixel 4"
+    assert scenario.case.name == "hard polycarbonate case"
+    assert scenario.scheme is FIXED_FULL_BAND
+    assert scenario.scheme_key == "fixed-3k"
+
+
+@pytest.mark.parametrize("field,value", [
+    ("site", "atlantis"),
+    ("motion", "warp"),
+    ("tx_device", "nokia_3310"),
+    ("case", "submarine"),
+    ("scheme", "fixed-9k"),
+])
+def test_scenario_rejects_unknown_keys(field, value):
+    with pytest.raises(ValueError, match="unknown"):
+        Scenario(**{field: value})
+
+
+def test_scenario_validates_numbers():
+    with pytest.raises(ValueError):
+        Scenario(distance_m=0.0)
+    with pytest.raises(ValueError):
+        Scenario(num_packets=0)
+    with pytest.raises(ValueError, match="exceeds the usable range"):
+        Scenario(site="bridge", distance_m=500.0)
+
+
+def test_scenario_dict_roundtrip():
+    scenario = Scenario(site="lake", distance_m=12.5, scheme="fixed-0.5k",
+                        motion="fast", num_packets=7, seed=42, label="point A",
+                        modem=ModemSpec(payload_bits=64, use_differential=False))
+    rebuilt = Scenario.from_dict(scenario.to_dict())
+    assert rebuilt == scenario
+    assert rebuilt.scenario_hash() == scenario.scenario_hash()
+
+
+def test_scenario_dict_roundtrip_with_custom_device_and_case():
+    import dataclasses
+
+    from repro.devices.case import SOFT_POUCH
+    from repro.devices.models import GALAXY_S9
+
+    custom_device = dataclasses.replace(GALAXY_S9, name="prototype", source_level_db=-2.0)
+    custom_case = dataclasses.replace(SOFT_POUCH, name="diy pouch", attenuation_db=2.5)
+    scenario = Scenario(tx_device=custom_device, case=custom_case, num_packets=3)
+    rebuilt = Scenario.from_dict(scenario.to_dict())
+    assert rebuilt == scenario
+    assert rebuilt.tx_device.speaker_response == custom_device.speaker_response
+
+
+def test_scenario_hash_distinguishes_parameters():
+    base = Scenario()
+    assert base.scenario_hash() != base.replace(distance_m=6.0).scenario_hash()
+    assert base.scenario_hash() != base.replace(seed=1).scenario_hash()
+    assert base.scenario_hash() != base.replace(scheme="fixed-3k").scenario_hash()
+    # The hash is content-based, so an equal scenario hashes identically.
+    assert base.scenario_hash() == Scenario().scenario_hash()
+
+
+def test_scenario_matches_accepts_keys_and_objects():
+    scenario = Scenario(site="lake", scheme="fixed-0.5k")
+    assert scenario.matches(site="lake", scheme=FIXED_NARROW_BAND)
+    assert scenario.matches(site=LAKE, scheme="fixed-0.5k")
+    assert not scenario.matches(site="bridge")
+    with pytest.raises(AttributeError):
+        scenario.matches(depth_m=1.0)
+
+
+def test_modem_spec_builds_configured_modem():
+    spec = ModemSpec(payload_bits=64, use_differential=False,
+                     subcarrier_spacing_hz=25.0)
+    modem = spec.build()
+    assert modem.protocol_config.payload_bits == 64
+    assert modem.ofdm_config.subcarrier_spacing_hz == pytest.approx(25.0)
+
+
+def test_run_scenario_matches_session_run(quiet_channel):
+    # run_scenario must reproduce the canonical build_link_pair+LinkSession
+    # wiring: same site/seed in two processes would yield the same stats.
+    scenario = Scenario(site="bridge", distance_m=5.0, num_packets=2, seed=3)
+    first = run_scenario(scenario)
+    second = scenario.run()
+    assert [r.coded_bitrate_bps for r in first.results] == \
+        [r.coded_bitrate_bps for r in second.results]
+    assert first.packet_error_rate == second.packet_error_rate
+
+
+# ------------------------------------------------------------------ Sweep
+def test_sweep_over_is_cartesian_product():
+    sweep = Sweep(Scenario(num_packets=1)).over(
+        distance_m=[5.0, 10.0], scheme=["adaptive", "fixed-3k"])
+    scenarios = sweep.scenarios()
+    assert len(sweep) == 4
+    # First axis varies slowest.
+    assert [s.distance_m for s in scenarios] == [5.0, 5.0, 10.0, 10.0]
+    assert [s.scheme_key for s in scenarios] == ["adaptive", "fixed-3k"] * 2
+
+
+def test_sweep_paired_axes_vary_together():
+    sweep = Sweep(Scenario(num_packets=1)).paired(
+        distance_m=[5.0, 10.0, 20.0], seed=[80, 81, 82])
+    assert [(s.distance_m, s.seed) for s in sweep] == [
+        (5.0, 80), (10.0, 81), (20.0, 82)]
+
+
+def test_sweep_paired_accepts_one_shot_iterables():
+    sweep = Sweep(Scenario(num_packets=1)).paired(
+        distance_m=(5.0 + i for i in range(3)), seed=iter([80, 81, 82]))
+    assert [(s.distance_m, s.seed) for s in sweep] == [
+        (5.0, 80), (6.0, 81), (7.0, 82)]
+
+
+def test_sweep_paired_rejects_length_mismatch():
+    with pytest.raises(ValueError, match="equal lengths"):
+        Sweep().paired(distance_m=[5.0, 10.0], seed=[80])
+
+
+def test_sweep_rejects_unknown_fields():
+    with pytest.raises(ValueError, match="unknown scenario field"):
+        Sweep().over(depth_m=[1.0])
+
+
+def test_sweep_rejects_field_swept_twice():
+    base = Sweep(Scenario(num_packets=1)).over(distance_m=[5.0, 10.0])
+    with pytest.raises(ValueError, match="already swept"):
+        base.paired(distance_m=[5.0, 10.0], seed=[1, 2])
+    with pytest.raises(ValueError, match="already swept"):
+        base.over(distance_m=[20.0])
+
+
+def test_sweep_where_filters_and_seeded_assigns_seeds():
+    sweep = (
+        Sweep(Scenario(num_packets=1))
+        .over(distance_m=[5.0, 10.0, 20.0])
+        .where(lambda s: s.distance_m < 20.0)
+        .seeded(100, step=10)
+    )
+    assert [(s.distance_m, s.seed) for s in sweep] == [(5.0, 100), (10.0, 110)]
+
+
+def test_sweep_builders_are_immutable():
+    base = Sweep(Scenario(num_packets=1))
+    wider = base.over(distance_m=[5.0, 10.0])
+    assert len(base) == 1
+    assert len(wider) == 2
+
+
+def test_sweep_resolves_string_axis_values():
+    sweep = Sweep(Scenario(num_packets=1)).over(site=["bridge", "lake"])
+    assert [s.site.name for s in sweep] == ["bridge", "lake"]
+
+
+# ------------------------------------------------------- records / results
+def _tiny_sweep(num_scenarios=8, packets=2):
+    distances = [4.0 + i for i in range(num_scenarios // 2)]
+    return (
+        Sweep(Scenario(site="bridge", num_packets=packets))
+        .over(distance_m=distances, scheme=["adaptive", "fixed-0.5k"])
+        .seeded(50)
+    )
+
+
+def test_runner_parallel_matches_serial_bit_for_bit():
+    # Acceptance criterion: >= 8 scenarios through 4 workers must produce
+    # records identical to a serial run with the same seeds.
+    scenarios = _tiny_sweep(8).scenarios()
+    assert len(scenarios) == 8
+    serial = ExperimentRunner(max_workers=1).run(scenarios)
+    parallel = ExperimentRunner(max_workers=4).run(scenarios)
+    assert serial == parallel
+    assert serial.to_json() == parallel.to_json()
+    # Records arrive in submission order.
+    assert [r.scenario for r in parallel] == scenarios
+
+
+def test_runner_resultset_json_roundtrip(tmp_path):
+    results = ExperimentRunner(max_workers=1).run(_tiny_sweep(4))
+    path = results.save(tmp_path / "results.json")
+    loaded = ResultSet.load(path)
+    assert loaded == results
+    assert loaded.to_json() == results.to_json()
+
+
+def test_runner_cache_hits_skip_execution(tmp_path, monkeypatch):
+    cache = tmp_path / "cache"
+    sweep = _tiny_sweep(4)
+    first_runner = ExperimentRunner(max_workers=1, cache_dir=cache)
+    first = first_runner.run(sweep)
+    assert first_runner.last_cache_hits == 0
+    assert len(list(cache.glob("*.json"))) == len(first)
+
+    # With the cache warm, execution must never be reached.
+    def _boom(scenario):
+        raise AssertionError("cache miss: scenario was re-executed")
+
+    monkeypatch.setattr(runner_module, "run_scenario", _boom)
+    second_runner = ExperimentRunner(max_workers=1, cache_dir=cache)
+    second = second_runner.run(sweep)
+    assert second_runner.last_cache_hits == len(second)
+    assert second == first
+
+
+def test_runner_cache_ignores_corrupt_entries(tmp_path):
+    cache = tmp_path / "cache"
+    scenario = Scenario(site="bridge", num_packets=1, seed=9)
+    runner = ExperimentRunner(max_workers=1, cache_dir=cache)
+    first = runner.run([scenario])
+    cache_file = next(cache.glob("*.json"))
+    cache_file.write_text("not json at all{", encoding="utf-8")
+    with pytest.raises(json.JSONDecodeError):
+        json.loads(cache_file.read_text(encoding="utf-8"))
+    second = runner.run([scenario])
+    assert runner.last_cache_hits == 0
+    assert second == first
+
+
+def test_runner_cache_ignores_stale_schema(tmp_path):
+    # A cache entry written by a different package version may carry unknown
+    # scenario fields; it must be recomputed, not crash the run.
+    cache = tmp_path / "cache"
+    scenario = Scenario(site="bridge", num_packets=1, seed=9)
+    runner = ExperimentRunner(max_workers=1, cache_dir=cache)
+    first = runner.run([scenario])
+    cache_file = next(cache.glob("*.json"))
+    data = json.loads(cache_file.read_text(encoding="utf-8"))
+    data[0]["scenario"]["future_field"] = 1
+    cache_file.write_text(json.dumps(data), encoding="utf-8")
+    second = runner.run([scenario])
+    assert runner.last_cache_hits == 0
+    assert second == first
+
+
+def test_runner_progress_callback_counts():
+    seen = []
+    runner = ExperimentRunner(
+        max_workers=1, progress=lambda done, total, record: seen.append((done, total)))
+    results = runner.run(_tiny_sweep(4))
+    assert len(seen) == len(results) == 4
+    assert seen[-1] == (4, 4)
+    assert [done for done, _ in seen] == [1, 2, 3, 4]
+
+
+def test_runner_cache_is_invalidated_by_package_version(tmp_path, monkeypatch):
+    import repro
+
+    cache = tmp_path / "cache"
+    scenario = Scenario(site="bridge", num_packets=1, seed=9)
+    runner = ExperimentRunner(max_workers=1, cache_dir=cache)
+    runner.run([scenario])
+    runner.run([scenario])
+    assert runner.last_cache_hits == 1
+    # Entries written by a different package version must not be served:
+    # stale simulation code would otherwise leak old numbers silently.
+    monkeypatch.setattr(repro, "__version__", "0.0.0-test")
+    runner.run([scenario])
+    assert runner.last_cache_hits == 0
+
+
+def test_runner_progress_counts_cache_hits(tmp_path):
+    cache = tmp_path / "cache"
+    sweep = _tiny_sweep(4)
+    ExperimentRunner(max_workers=1, cache_dir=cache).run(sweep)
+    seen = []
+    runner = ExperimentRunner(
+        max_workers=1, cache_dir=cache,
+        progress=lambda done, total, record: seen.append((done, total)))
+    runner.run(sweep)
+    assert seen == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+
+def test_runner_rejects_negative_workers():
+    with pytest.raises(ValueError):
+        ExperimentRunner(max_workers=-1)
+
+
+def test_result_set_lookup_and_where():
+    results = ExperimentRunner(max_workers=1).run(_tiny_sweep(4))
+    adaptive = results.where(scheme="adaptive")
+    assert len(adaptive) == 2
+    record = results.lookup(distance_m=4.0, scheme="fixed-0.5k")
+    assert record.scenario.distance_m == 4.0
+    with pytest.raises(LookupError):
+        results.lookup(scheme="adaptive")  # two matches
+    with pytest.raises(LookupError):
+        results.lookup(distance_m=999.0)  # zero matches
+
+
+def test_result_set_table_and_metrics():
+    results = ExperimentRunner(max_workers=1).run(_tiny_sweep(4))
+    table = results.to_table()
+    assert "scenario" in table and "per" in table
+    assert len(table.splitlines()) == 2 + len(results)
+    pers = results.metric("packet_error_rate")
+    assert pers.shape == (4,)
+    assert np.all((pers >= 0) & (pers <= 1))
+
+
+def test_record_equality_ignores_timing():
+    results = ExperimentRunner(max_workers=1).run([Scenario(site="bridge",
+                                                            num_packets=1, seed=2)])
+    record = results[0]
+    clone = RunRecord.from_dict(record.to_dict())
+    assert clone.elapsed_s == 0.0
+    assert record.elapsed_s > 0.0
+    assert clone == record
+
+
+def test_record_derived_metrics():
+    results = ExperimentRunner(max_workers=1).run(
+        [Scenario(site="bridge", num_packets=3, seed=4)])
+    record = results[0]
+    assert record.num_packets == 3
+    assert record.finite_bitrates_bps.size <= 3
+    if record.finite_bitrates_bps.size:
+        assert np.isfinite(record.median_bitrate_bps)
+        start_hz, end_hz = record.median_band_edges_hz()
+        assert start_hz <= end_hz
+        percentiles = record.bitrate_percentiles((10, 50, 90))
+        assert percentiles.shape == (3,)
+        assert np.all(np.diff(percentiles) >= 0)

@@ -3,7 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.core.baselines import FIXED_FULL_BAND, FIXED_NARROW_BAND
+from repro.core.baselines import FIXED_BAND_SCHEMES, FIXED_FULL_BAND, FIXED_NARROW_BAND
+from repro.core.feedback import FeedbackDecodeResult
+from repro.core.preamble import PreambleDetection
 from repro.link.session import LinkSession, LinkStatistics, PacketResult
 
 
@@ -121,3 +123,88 @@ def test_random_payload_size_matches_protocol(quiet_session):
 def test_min_band_snr_recorded(quiet_session):
     result = quiet_session.run_packet()
     assert np.isfinite(result.min_band_snr_db)
+
+
+# ------------------------------------------------------------ failure paths
+_NO_DETECTION = PreambleDetection(
+    detected=False, start_index=-1, coarse_metric=0.0, fine_metric=0.0
+)
+_NO_FEEDBACK = FeedbackDecodeResult(
+    found=False, start_bin=0, end_bin=0, offset=0, peak_power_ratio=0.0
+)
+
+
+def test_undetected_preamble_fails_packet(quiet_session, monkeypatch):
+    monkeypatch.setattr(
+        quiet_session.modem, "detect_preamble", lambda received: _NO_DETECTION
+    )
+    result = quiet_session.run_packet()
+    assert not result.delivered
+    assert not result.preamble_detected
+    assert not result.feedback_ok
+    assert result.receiver_band is None and result.transmitter_band is None
+    # A lost packet counts every payload and coded bit as wrong.
+    assert result.bit_errors == result.num_payload_bits == 16
+    assert result.coded_bit_errors == result.num_coded_bits
+    assert np.isnan(result.coded_bitrate_bps)
+    assert np.isnan(result.min_band_snr_db)
+
+
+def test_lost_feedback_fails_packet(quiet_session, monkeypatch):
+    monkeypatch.setattr(
+        quiet_session.modem,
+        "decode_feedback",
+        lambda received, search_start=0, search_stop=None: _NO_FEEDBACK,
+    )
+    result = quiet_session.run_packet()
+    assert not result.delivered
+    assert result.preamble_detected
+    assert not result.feedback_ok and not result.feedback_exact
+    # Bob selected a band, but Alice never learned it.
+    assert result.receiver_band is not None
+    assert result.transmitter_band is None
+    assert np.isfinite(result.min_band_snr_db)
+    assert np.isfinite(result.coded_bitrate_bps)
+
+
+def test_band_mismatch_decode_error_fails_packet(quiet_session, monkeypatch):
+    def _raise(received, band, num_payload_bits=None, apply_bandpass=True):
+        raise ValueError("burst shorter than the receiver expects")
+
+    monkeypatch.setattr(quiet_session.modem, "decode_data", _raise)
+    result = quiet_session.run_packet()
+    assert not result.delivered
+    assert result.preamble_detected
+    assert result.feedback_ok
+    assert result.receiver_band is not None
+    assert result.detection_metric > 0.0
+    assert result.bit_errors == result.num_payload_bits
+
+
+def test_failure_paths_aggregate_into_statistics(quiet_session, monkeypatch):
+    monkeypatch.setattr(
+        quiet_session.modem, "detect_preamble", lambda received: _NO_DETECTION
+    )
+    stats = quiet_session.run_many(3)
+    assert stats.packet_error_rate == 1.0
+    assert stats.preamble_detection_rate == 0.0
+    assert stats.feedback_error_rate == 1.0
+    assert stats.payload_bit_error_rate == 1.0
+    assert stats.bitrates_bps.size == 0
+    assert np.isnan(stats.median_bitrate_bps)
+
+
+# ------------------------------------------------------ fixed-band baselines
+@pytest.mark.parametrize("scheme", FIXED_BAND_SCHEMES, ids=lambda s: s.name)
+def test_fixed_band_schemes_use_their_band(quiet_channel, scheme):
+    session = LinkSession(quiet_channel, scheme=scheme, seed=11)
+    stats = session.run_many(2)
+    expected = scheme.selection(session.modem.ofdm_config)
+    for result in stats.results:
+        assert result.receiver_band == expected
+        assert result.transmitter_band == expected
+    # Baselines need no feedback, so feedback errors are impossible and the
+    # bitrate is fixed by the band width.
+    assert stats.feedback_error_rate == 0.0
+    assert np.unique(stats.bitrates_bps).size == 1
+    assert np.isnan(stats.min_band_snrs_db()).all()
