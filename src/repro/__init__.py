@@ -29,6 +29,10 @@ SIGCOMM 2022).  It contains:
   processes (with deterministic per-scenario seeding and an optional
   on-disk result cache) into a serializable
   :class:`~repro.experiments.ResultSet`.
+* :mod:`repro.perf` -- the microbenchmark harness behind
+  ``python -m repro.cli bench``: suites over the FEC/OFDM/preamble/channel
+  and end-to-end link hot paths, persisted as ``BENCH_<suite>.json`` for
+  per-PR perf trajectories.
 """
 
 from repro.core.config import OFDMConfig, ProtocolConfig
@@ -43,8 +47,9 @@ from repro.experiments import (
     run_scenario,
 )
 from repro.link.session import LinkSession, LinkStatistics, PacketResult
+from repro.perf import Benchmark, BenchResult
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "OFDMConfig",
@@ -60,5 +65,7 @@ __all__ = [
     "ResultSet",
     "RunRecord",
     "run_scenario",
+    "Benchmark",
+    "BenchResult",
     "__version__",
 ]

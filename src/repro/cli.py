@@ -7,12 +7,15 @@ code::
     python -m repro.cli sweep --site lake --distance 5 10 20 --scheme adaptive fixed-3k
     python -m repro.cli sos --distance 100 --rate 10 --repetitions 5
     python -m repro.cli mac --transmitters 3 --packets 120
+    python -m repro.cli bench --quick
     python -m repro.cli sites
 
 Each subcommand prints a small report mirroring the metrics the paper uses
 (selected bitrate, PER, BER, detection rates, collision fractions).  The
 ``sweep`` subcommand expands a parameter grid with
-:mod:`repro.experiments` and runs it across worker processes.
+:mod:`repro.experiments` and runs it across worker processes; ``bench``
+runs the :mod:`repro.perf` microbenchmark suites and writes one
+``BENCH_<suite>.json`` per suite.
 """
 
 from __future__ import annotations
@@ -76,6 +79,31 @@ def _add_sweep_parser(subparsers) -> None:
                         help="also write the result set to FILE as JSON")
 
 
+def _add_bench_parser(subparsers) -> None:
+    from repro.perf import available_suites
+
+    parser = subparsers.add_parser(
+        "bench",
+        help="run the microbenchmark suites and write BENCH_<suite>.json",
+        description="Time the FEC/DSP/link hot paths with warmup and "
+                    "repeats.  Each suite's results are printed and written "
+                    "to BENCH_<suite>.json so the perf trajectory "
+                    "accumulates across PRs.",
+    )
+    parser.add_argument("--suite", nargs="+", choices=sorted(available_suites()),
+                        default=None,
+                        help="suites to run (default: all)")
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer repeats for CI smoke runs; workloads are "
+                             "unchanged so numbers stay comparable")
+    parser.add_argument("--json", metavar="DIR", dest="json_dir", default=".",
+                        help="directory receiving BENCH_<suite>.json "
+                             "(default: current directory)")
+    parser.add_argument("--compare", metavar="BASELINE", nargs="+", default=None,
+                        help="previously written BENCH_*.json files to "
+                             "compare against (percent-change report)")
+
+
 def _add_sos_parser(subparsers) -> None:
     parser = subparsers.add_parser("sos", help="broadcast SoS beacons over a long-range link")
     parser.add_argument("--site", choices=sorted(SITE_CATALOG), default="beach")
@@ -103,6 +131,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_link_parser(subparsers)
     _add_sweep_parser(subparsers)
+    _add_bench_parser(subparsers)
     _add_sos_parser(subparsers)
     _add_mac_parser(subparsers)
     subparsers.add_parser("sites", help="list the simulated evaluation sites")
@@ -171,6 +200,41 @@ def _run_sweep(args) -> int:
     return 0
 
 
+def _run_bench(args) -> int:
+    from repro.perf import (
+        available_suites,
+        compare_results,
+        format_comparison,
+        format_results,
+        load_results,
+        run_suite,
+        write_results,
+    )
+
+    suites = list(args.suite) if args.suite else list(available_suites())
+    baselines: dict[str, list] = {}
+    for path in args.compare or []:
+        try:
+            suite_name, results = load_results(path)
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            print(f"error: cannot read baseline {path}: {error}", file=sys.stderr)
+            return 2
+        baselines[suite_name] = results
+    mode = "quick" if args.quick else "full"
+    for name in suites:
+        results = run_suite(name, quick=args.quick)
+        path = write_results(name, results, directory=args.json_dir, quick=args.quick)
+        print(f"suite {name} ({mode}, {len(results)} benchmarks) -> {path}")
+        print(format_results(results))
+        baseline = baselines.get(name)
+        if baseline is not None:
+            print(format_comparison(compare_results(baseline, results), name))
+    unknown = set(baselines) - set(suites)
+    if unknown:
+        print(f"note: baselines for suites not run were ignored: {', '.join(sorted(unknown))}")
+    return 0
+
+
 def _run_sos(args) -> int:
     site = SITE_CATALOG[args.site]
     channel = build_channel(site=site, distance_m=args.distance, seed=args.seed)
@@ -219,6 +283,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "link": _run_link,
         "sweep": _run_sweep,
+        "bench": _run_bench,
         "sos": _run_sos,
         "mac": _run_mac,
         "sites": _run_sites,

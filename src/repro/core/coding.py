@@ -146,19 +146,16 @@ class DataEncoder:
 
         bins = band.absolute_bins()
         reference = self.training_bin_values(band)
-        waveform_parts = [self.training_symbol(band)]
-        previous = reference.copy()
-        for symbol_bits in grid:
-            antipodal = 1.0 - 2.0 * symbol_bits.astype(float)
-            if self.use_differential:
-                current = previous * antipodal
-            else:
-                current = reference * antipodal
-            waveform_parts.append(
-                self._modulator.modulate(current, bins, add_cyclic_prefix=True)
-            )
-            previous = current
-        waveform = np.concatenate(waveform_parts)
+        antipodal = 1.0 - 2.0 * grid.astype(float)
+        if self.use_differential:
+            # Differential BPSK: symbol k carries the running sign product,
+            # so the per-symbol recurrence collapses to one cumulative
+            # product (the signs are exactly +/-1, keeping this exact).
+            values = reference[None, :] * np.cumprod(antipodal, axis=0)
+        else:
+            values = reference[None, :] * antipodal
+        data_symbols = self._modulator.modulate_many(values, bins, add_cyclic_prefix=True)
+        waveform = np.concatenate([self.training_symbol(band), data_symbols.ravel()])
         return EncodedPacket(
             waveform=waveform,
             band=band,
@@ -240,13 +237,7 @@ class DataDecoder:
             burst = equalizer.apply(burst)
 
         bins = band.absolute_bins()
-        prefix = self.ofdm_config.cyclic_prefix_length
-        length = self.ofdm_config.symbol_length
-        spectra = np.empty((num_data_symbols + 1, bins.size), dtype=complex)
-        for i in range(num_data_symbols + 1):
-            start = i * extended + prefix
-            frame = burst[start:start + length]
-            spectra[i] = np.fft.rfft(frame)[bins]
+        spectra = self._modulator.demodulate_many(burst, num_data_symbols + 1, bins)
 
         coded_bits_expected = self._code.coded_length(num_payload_bits)
         interleaver = SubcarrierInterleaver(band.num_bins)

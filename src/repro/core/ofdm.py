@@ -71,6 +71,46 @@ class OFDMModulator:
             symbol = np.concatenate([prefix, symbol])
         return symbol
 
+    def modulate_many(
+        self,
+        bin_values: np.ndarray,
+        bin_indices: np.ndarray,
+        add_cyclic_prefix: bool = True,
+        normalize_power: bool = True,
+    ) -> np.ndarray:
+        """Build several OFDM symbols at once.
+
+        ``bin_values`` has shape ``(num_symbols, len(bin_indices))``; every
+        row becomes one symbol on the same set of subcarriers.  Returns a
+        ``(num_symbols, symbol_length[+cyclic_prefix])`` array whose rows
+        are bit-identical to calling :meth:`modulate` row by row -- the
+        batch inverse FFT and per-row power normalization are what make the
+        encoder's per-symbol Python loop disappear.
+        """
+        bin_values = np.asarray(bin_values, dtype=complex)
+        bin_indices = np.asarray(bin_indices, dtype=int).ravel()
+        if bin_values.ndim != 2 or bin_values.shape[1] != bin_indices.size:
+            raise ValueError(
+                "bin_values must have shape (num_symbols, len(bin_indices)), "
+                f"got {bin_values.shape} for {bin_indices.size} bins"
+            )
+        if bin_indices.size and (
+            bin_indices.min() < 0 or bin_indices.max() >= self.num_spectrum_bins
+        ):
+            raise ValueError("bin index out of range for the configured symbol length")
+        spectrum = np.zeros((bin_values.shape[0], self.num_spectrum_bins), dtype=complex)
+        spectrum[:, bin_indices] = bin_values
+        symbols = np.fft.irfft(spectrum, n=self.config.symbol_length, axis=1)
+        if normalize_power and bin_indices.size:
+            power = np.mean(symbols ** 2, axis=1)
+            scale = np.where(power > 0, np.sqrt(self.symbol_power / np.maximum(power, 1e-300)), 1.0)
+            symbols = symbols * scale[:, None]
+        if add_cyclic_prefix and self.config.cyclic_prefix_length > 0:
+            symbols = np.concatenate(
+                [symbols[:, -self.config.cyclic_prefix_length:], symbols], axis=1
+            )
+        return symbols
+
     # ---------------------------------------------------------------- decode
     def demodulate(
         self,
@@ -109,6 +149,45 @@ class OFDMModulator:
             return spectrum
         bin_indices = np.asarray(bin_indices, dtype=int).ravel()
         return spectrum[bin_indices]
+
+    def demodulate_many(
+        self,
+        samples: np.ndarray,
+        num_symbols: int,
+        bin_indices: np.ndarray | None = None,
+        has_cyclic_prefix: bool = True,
+    ) -> np.ndarray:
+        """Demodulate ``num_symbols`` consecutive symbols in one batch FFT.
+
+        ``samples`` must hold the symbols back to back (cyclic prefixes
+        included when ``has_cyclic_prefix``).  Returns a
+        ``(num_symbols, len(bin_indices))`` array of subcarrier values,
+        bit-identical to slicing and calling :meth:`demodulate` per symbol.
+        """
+        samples = np.asarray(samples, dtype=float).ravel()
+        if num_symbols < 0:
+            raise ValueError("num_symbols must be non-negative")
+        step = (
+            self.config.extended_symbol_length
+            if has_cyclic_prefix
+            else self.config.symbol_length
+        )
+        needed = num_symbols * step
+        if samples.size < needed:
+            raise ValueError(
+                f"need {needed} samples for {num_symbols} symbols, got {samples.size}"
+            )
+        frames = samples[:needed].reshape(num_symbols, step)
+        if has_cyclic_prefix:
+            frames = frames[
+                :, self.config.cyclic_prefix_length:
+                self.config.cyclic_prefix_length + self.config.symbol_length
+            ]
+        spectra = np.fft.rfft(frames, axis=1)
+        if bin_indices is None:
+            return spectra
+        bin_indices = np.asarray(bin_indices, dtype=int).ravel()
+        return spectra[:, bin_indices]
 
     # ----------------------------------------------------------------- helpers
     def silence(self, num_symbols: int = 1, with_prefix: bool = True) -> np.ndarray:

@@ -182,8 +182,7 @@ class PreambleDetector:
         signs = self.protocol_config.pn_signs_array
         prefix = self.ofdm_config.cyclic_prefix_length
         length = self.ofdm_config.symbol_length
-        symbols = np.empty((self.generator.num_symbols, length))
-        for i in range(self.generator.num_symbols):
-            begin = start_index + i * step + prefix
-            symbols[i] = received[begin:begin + length] * signs[i]
-        return symbols
+        frames = received[start_index:start_index + total].reshape(
+            self.generator.num_symbols, step
+        )[:, prefix:prefix + length]
+        return frames * signs[:, None]

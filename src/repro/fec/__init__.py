@@ -8,11 +8,28 @@ paper) down to rate 2/3 and decoding with a Viterbi decoder that treats
 punctured positions as erasures.
 """
 
-from repro.fec.convolutional import ConvolutionalCode, PuncturedConvolutionalCode
+from repro.fec.convolutional import (
+    ConvolutionalCode,
+    PuncturedConvolutionalCode,
+    Trellis,
+    hard_bits_to_soft,
+    trellis_tables,
+)
 from repro.fec.interleaver import SubcarrierInterleaver
+from repro.fec.reference import (
+    reference_decode,
+    reference_encode,
+    reference_punctured_decode,
+)
 
 __all__ = [
     "ConvolutionalCode",
     "PuncturedConvolutionalCode",
     "SubcarrierInterleaver",
+    "Trellis",
+    "hard_bits_to_soft",
+    "reference_decode",
+    "reference_encode",
+    "reference_punctured_decode",
+    "trellis_tables",
 ]

@@ -14,9 +14,21 @@ which is how the 16-bit AquaApp packets become 24 coded bits
 (16 + 6 tail = 22 input bits... see :class:`PuncturedConvolutionalCode`
 for the exact accounting used in this reproduction, which follows the
 paper's 16 -> 24 coded-bit figure by puncturing the tail as well).
+
+The decoder is fully vectorized: all branch metrics are computed up front
+with one ``einsum`` over ``(steps, bits, states)`` and the add-compare-
+select recursion exploits the trellis butterfly structure -- register
+``r = (bit << (K-1)) | state`` maps to next state ``r >> 1``, so the two
+branches entering each next state are adjacent in register order and one
+``(2, num_states)`` broadcast add plus a pairwise maximum per step replaces
+the per-state Python loops.  The slow loop implementation is retained in
+:mod:`repro.fec.reference` as the golden reference the test suite checks
+bit-identical equivalence against.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -28,6 +40,110 @@ def _bits_array(bits: np.ndarray | list[int]) -> np.ndarray:
     if arr.size and not np.all((arr == 0) | (arr == 1)):
         raise ValueError("bits must contain only 0s and 1s")
     return arr
+
+
+def hard_bits_to_soft(values: np.ndarray | list[float]) -> np.ndarray:
+    """Map hard 0/1 bits to antipodal -1/+1 soft values, NaN-preserving.
+
+    Inputs whose finite entries are not all in ``{0, 1}`` are treated as
+    genuine soft values and returned unchanged (as a float array).  ``NaN``
+    entries mark erasures and stay ``NaN`` either way.
+    """
+    soft = np.asarray(values, dtype=float).ravel()
+    finite = soft[~np.isnan(soft)]
+    if finite.size == 0 or np.isin(finite, (0.0, 1.0)).all():
+        soft = np.where(np.isnan(soft), np.nan, soft * 2.0 - 1.0)
+    return soft
+
+
+@dataclass(frozen=True)
+class Trellis:
+    """Precomputed trellis tables for one ``(constraint_length, polynomials)``.
+
+    Attributes
+    ----------
+    next_state:
+        ``(num_states, 2)`` next state for each (state, input bit).
+    outputs:
+        ``(num_states, 2, num_outputs)`` coded output bits per transition.
+    register_outputs:
+        ``(2 ** constraint_length, num_outputs)`` coded output bits indexed
+        by the full shift register ``(bit << (K-1)) | state`` -- the
+        table-driven lookup the vectorized encoder uses.
+    expected_by_register:
+        ``(2, num_states, num_outputs)`` antipodal (+/-1) expected outputs
+        indexed ``[bit, state]``; flattening the leading two axes yields
+        register order, which is what the butterfly ACS step consumes.
+    """
+
+    constraint_length: int
+    polynomials: tuple[int, ...]
+    next_state: np.ndarray
+    outputs: np.ndarray
+    register_outputs: np.ndarray
+    expected_by_register: np.ndarray
+
+    @property
+    def num_states(self) -> int:
+        return 1 << (self.constraint_length - 1)
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.polynomials)
+
+
+_TRELLIS_CACHE: dict[tuple[int, tuple[int, ...]], Trellis] = {}
+
+
+def trellis_tables(constraint_length: int, polynomials: tuple[int, ...]) -> Trellis:
+    """Return the (module-wide cached) trellis tables for a code.
+
+    Modem and codec construction happens per experiment -- sometimes per
+    packet in sweep workers -- so the tables are built once per
+    ``(constraint_length, polynomials)`` and shared by every code instance.
+    """
+    key = (int(constraint_length), tuple(int(p) for p in polynomials))
+    cached = _TRELLIS_CACHE.get(key)
+    if cached is not None:
+        return cached
+    k, polys = key
+    num_states = 1 << (k - 1)
+    num_outputs = len(polys)
+    registers = np.arange(1 << k, dtype=np.int64)
+    register_outputs = np.empty((1 << k, num_outputs), dtype=np.int8)
+    for i, poly in enumerate(polys):
+        masked = registers & poly
+        # Parity of the masked register bits (popcount mod 2), vectorized.
+        parity = masked
+        shift = 1
+        while shift < k:
+            parity = parity ^ (parity >> shift)
+            shift <<= 1
+        register_outputs[:, i] = (parity & 1).astype(np.int8)
+    # Register r = (bit << (K-1)) | state; next state is r >> 1.
+    bit_axis = registers >> (k - 1)
+    state_axis = registers & (num_states - 1)
+    outputs = np.empty((num_states, 2, num_outputs), dtype=np.int8)
+    outputs[state_axis, bit_axis] = register_outputs
+    next_state = np.empty((num_states, 2), dtype=np.int32)
+    next_state[state_axis, bit_axis] = (registers >> 1).astype(np.int32)
+    expected_by_register = (
+        register_outputs.astype(float).reshape(2, num_states, num_outputs) * 2.0 - 1.0
+    )
+    # The tables are shared by every code instance with this key; freeze them
+    # so an accidental in-place edit cannot corrupt all future decodes.
+    for table in (next_state, outputs, register_outputs, expected_by_register):
+        table.setflags(write=False)
+    trellis = Trellis(
+        constraint_length=k,
+        polynomials=polys,
+        next_state=next_state,
+        outputs=outputs,
+        register_outputs=register_outputs,
+        expected_by_register=expected_by_register,
+    )
+    _TRELLIS_CACHE[key] = trellis
+    return trellis
 
 
 class ConvolutionalCode:
@@ -55,19 +171,9 @@ class ConvolutionalCode:
         self.polynomials = tuple(int(p) for p in polynomials)
         self.num_outputs = len(self.polynomials)
         self.num_states = 1 << (self.constraint_length - 1)
-        self._build_tables()
-
-    def _build_tables(self) -> None:
-        """Precompute next-state and output tables for every (state, bit)."""
-        mask = (1 << self.constraint_length) - 1
-        self._next_state = np.zeros((self.num_states, 2), dtype=np.int32)
-        self._outputs = np.zeros((self.num_states, 2, self.num_outputs), dtype=np.int8)
-        for state in range(self.num_states):
-            for bit in (0, 1):
-                register = ((bit << (self.constraint_length - 1)) | state) & mask
-                self._next_state[state, bit] = register >> 1
-                for i, poly in enumerate(self.polynomials):
-                    self._outputs[state, bit, i] = bin(register & poly).count("1") % 2
+        self._trellis = trellis_tables(self.constraint_length, self.polynomials)
+        self._next_state = self._trellis.next_state
+        self._outputs = self._trellis.outputs
 
     # ------------------------------------------------------------------ encode
     @property
@@ -89,12 +195,16 @@ class ConvolutionalCode:
         data = _bits_array(bits)
         if terminate:
             data = np.concatenate([data, np.zeros(self.num_tail_bits, dtype=int)])
-        state = 0
-        out = np.empty(data.size * self.num_outputs, dtype=int)
-        for i, bit in enumerate(data):
-            out[i * self.num_outputs:(i + 1) * self.num_outputs] = self._outputs[state, bit]
-            state = self._next_state[state, bit]
-        return out
+        if data.size == 0:
+            return np.array([], dtype=int)
+        # The shift register at step i holds bits b[i-K+1..i]; building all
+        # registers at once turns encoding into one sliding-window dot
+        # product plus a table lookup.
+        k = self.constraint_length
+        padded = np.concatenate([np.zeros(k - 1, dtype=np.int64), data])
+        windows = np.lib.stride_tricks.sliding_window_view(padded, k)
+        registers = windows @ (1 << np.arange(k, dtype=np.int64))
+        return self._trellis.register_outputs[registers].astype(int).ravel()
 
     # ------------------------------------------------------------------ decode
     def decode(
@@ -123,10 +233,7 @@ class ConvolutionalCode:
             raise ValueError(
                 f"coded stream length {soft.size} is not a multiple of {self.num_outputs}"
             )
-        # Map hard bits to soft antipodal values, leaving genuine soft values alone.
-        hard_like = np.isin(soft[~np.isnan(soft)], (0.0, 1.0)).all() if soft.size else True
-        if hard_like:
-            soft = np.where(np.isnan(soft), np.nan, soft * 2.0 - 1.0)
+        soft = hard_bits_to_soft(soft)
         num_steps = soft.size // self.num_outputs
         if num_steps == 0:
             return np.array([], dtype=int)
@@ -136,49 +243,44 @@ class ConvolutionalCode:
         if num_data_bits < 0 or num_data_bits + tail > num_steps:
             raise ValueError("num_data_bits inconsistent with coded stream length")
 
-        # Branch metrics: correlation between expected antipodal outputs and
-        # received soft values; erasures contribute nothing.
+        # Branch metrics for every (step, input bit, state) at once:
+        # correlation between expected antipodal outputs and received soft
+        # values; erasures (NaN) contribute nothing.
         observations = soft.reshape(num_steps, self.num_outputs)
-        path_metric = np.full(self.num_states, -np.inf)
-        path_metric[0] = 0.0
-        decisions = np.zeros((num_steps, self.num_states), dtype=np.int8)
-        predecessors = np.zeros((num_steps, self.num_states), dtype=np.int32)
+        observations = np.where(np.isnan(observations), 0.0, observations)
+        branch = np.einsum(
+            "bso,to->tbs", self._trellis.expected_by_register, observations
+        )
 
-        expected = self._outputs.astype(float) * 2.0 - 1.0  # (state, bit, output)
+        num_states = self.num_states
+        shift = self.constraint_length - 1
+        state_mask = num_states - 1
+        path_metric = np.full(num_states, -np.inf)
+        path_metric[0] = 0.0
+        decisions = np.empty((num_steps, num_states), dtype=np.int8)
+        # Add-compare-select via the butterfly structure: candidate metrics
+        # in register order are path_metric[state] + branch[bit, state]
+        # (one broadcast add); registers 2n and 2n+1 both enter next state
+        # n, so a reshape to (num_states, 2) pairs the two competing
+        # branches and the comparison picks the survivor.  Ties keep the
+        # even register, matching the reference decoder's first-wins rule.
         for step in range(num_steps):
-            obs = observations[step]
-            valid = ~np.isnan(obs)
-            new_metric = np.full(self.num_states, -np.inf)
-            new_decision = np.zeros(self.num_states, dtype=np.int8)
-            new_pred = np.zeros(self.num_states, dtype=np.int32)
-            if valid.any():
-                branch = np.tensordot(expected[:, :, valid], obs[valid], axes=([2], [0]))
-            else:
-                branch = np.zeros((self.num_states, 2))
-            for state in range(self.num_states):
-                metric_here = path_metric[state]
-                if metric_here == -np.inf:
-                    continue
-                for bit in (0, 1):
-                    nxt = self._next_state[state, bit]
-                    candidate = metric_here + branch[state, bit]
-                    if candidate > new_metric[nxt]:
-                        new_metric[nxt] = candidate
-                        new_decision[nxt] = bit
-                        new_pred[nxt] = state
-            path_metric = new_metric
-            decisions[step] = new_decision
-            predecessors[step] = new_pred
+            candidates = (branch[step] + path_metric).reshape(num_states, 2)
+            take_odd = candidates[:, 1] > candidates[:, 0]
+            decisions[step] = take_odd
+            path_metric = np.where(take_odd, candidates[:, 1], candidates[:, 0])
 
         # Trace back from the zero state (terminated) or the best state.
         if terminated and path_metric[0] > -np.inf:
             state = 0
         else:
             state = int(np.argmax(path_metric))
-        decoded = np.zeros(num_steps, dtype=int)
+        survivors = decisions.tolist()
+        decoded = np.empty(num_steps, dtype=int)
         for step in range(num_steps - 1, -1, -1):
-            decoded[step] = decisions[step, state]
-            state = predecessors[step, state]
+            register = 2 * state + survivors[step][state]
+            decoded[step] = register >> shift
+            state = register & state_mask
         return decoded[:num_data_bits]
 
 
@@ -224,17 +326,17 @@ class PuncturedConvolutionalCode:
     def coded_length(self, num_data_bits: int) -> int:
         """Return the number of coded bits produced for ``num_data_bits``."""
         total_input = num_data_bits + (self.mother.num_tail_bits if self.terminate else 0)
-        mask = self._puncture_mask(total_input)
-        return int(mask.sum())
+        full_periods, remainder = divmod(total_input, self._period)
+        kept = full_periods * self._kept_per_period
+        if remainder:
+            kept += int(self._pattern[:remainder].sum())
+        return kept
 
     def _puncture_mask(self, num_input_bits: int) -> np.ndarray:
         """Boolean mask over the mother-code output marking transmitted bits."""
-        mask = np.zeros(num_input_bits * self.mother.num_outputs, dtype=bool)
-        for i in range(num_input_bits):
-            row = self._pattern[i % self._period]
-            for j in range(self.mother.num_outputs):
-                mask[i * self.mother.num_outputs + j] = bool(row[j])
-        return mask
+        periods = -(-num_input_bits // self._period)
+        tiled = np.tile(self._pattern.astype(bool), (periods, 1))
+        return tiled[:num_input_bits].ravel()
 
     def encode(self, bits: np.ndarray | list[int]) -> np.ndarray:
         """Encode and puncture ``bits``, returning the transmitted coded bits."""
@@ -252,10 +354,7 @@ class PuncturedConvolutionalCode:
             raise ValueError(
                 f"expected {expected} coded bits for {num_data_bits} data bits, got {soft.size}"
             )
-        # Convert hard bits to antipodal soft values if necessary.
-        finite = soft[~np.isnan(soft)]
-        if finite.size and np.isin(finite, (0.0, 1.0)).all():
-            soft = np.where(np.isnan(soft), np.nan, soft * 2.0 - 1.0)
+        soft = hard_bits_to_soft(soft)
         total_input = num_data_bits + (self.mother.num_tail_bits if self.terminate else 0)
         mask = self._puncture_mask(total_input)
         depunctured = np.full(mask.size, np.nan)

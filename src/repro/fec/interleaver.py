@@ -15,13 +15,21 @@ from __future__ import annotations
 import numpy as np
 
 
+_PERMUTATION_CACHE: dict[tuple[int, int], np.ndarray] = {}
+
+
 def _stride_permutation(length: int, stride: int) -> np.ndarray:
     """Return a permutation of ``range(length)`` visiting indices by ``stride``.
 
     When ``stride`` does not divide evenly into ``length`` the walk simply
     skips already-visited positions, which keeps the mapping a true
-    permutation for every ``(length, stride)`` pair.
+    permutation for every ``(length, stride)`` pair.  Interleavers are
+    constructed once per packet (one per band width), so the walk is cached
+    module-wide.
     """
+    cached = _PERMUTATION_CACHE.get((length, stride))
+    if cached is not None:
+        return cached
     visited = np.zeros(length, dtype=bool)
     order = np.empty(length, dtype=int)
     position = 0
@@ -31,6 +39,8 @@ def _stride_permutation(length: int, stride: int) -> np.ndarray:
         order[i] = position
         visited[position] = True
         position = (position + stride) % length
+    order.setflags(write=False)
+    _PERMUTATION_CACHE[(length, stride)] = order
     return order
 
 
@@ -76,10 +86,9 @@ class SubcarrierInterleaver:
         bits = np.asarray(bits).ravel()
         n_symbols = self.num_symbols(bits.size)
         grid = np.full((n_symbols, self.bins_per_symbol), pad_value, dtype=bits.dtype if bits.size else int)
-        for i, bit in enumerate(bits):
-            symbol = i // self.bins_per_symbol
-            slot = self._within_symbol[i % self.bins_per_symbol]
-            grid[symbol, slot] = bit
+        indices = np.arange(bits.size)
+        grid[indices // self.bins_per_symbol,
+             self._within_symbol[indices % self.bins_per_symbol]] = bits
         return grid
 
     def deinterleave(self, grid: np.ndarray, num_bits: int) -> np.ndarray:
@@ -95,9 +104,6 @@ class SubcarrierInterleaver:
         capacity = grid.shape[0] * self.bins_per_symbol
         if num_bits > capacity:
             raise ValueError(f"cannot extract {num_bits} bits from a grid of {capacity} slots")
-        out = np.empty(num_bits, dtype=grid.dtype)
-        for i in range(num_bits):
-            symbol = i // self.bins_per_symbol
-            slot = self._within_symbol[i % self.bins_per_symbol]
-            out[i] = grid[symbol, slot]
-        return out
+        indices = np.arange(num_bits)
+        return grid[indices // self.bins_per_symbol,
+                    self._within_symbol[indices % self.bins_per_symbol]]

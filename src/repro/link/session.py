@@ -83,11 +83,55 @@ class PacketResult:
         return not self.delivered
 
 
+@dataclass(frozen=True)
+class _StatisticsSnapshot:
+    """Per-packet metrics of a :class:`LinkStatistics` as numpy columns.
+
+    Built once per distinct result count, so the aggregate properties stop
+    re-running ``sum(...)`` generators over the packet list on every access
+    (sweep tables and benchmark loops read them repeatedly).
+    """
+
+    num_packets: int
+    is_error: np.ndarray
+    bit_errors: np.ndarray
+    num_payload_bits: np.ndarray
+    coded_bit_errors: np.ndarray
+    num_coded_bits: np.ndarray
+    preamble_detected: np.ndarray
+    feedback_bad: np.ndarray
+    coded_bitrates_bps: np.ndarray
+    min_band_snrs_db: np.ndarray
+
+    @classmethod
+    def build(cls, results: list[PacketResult]) -> "_StatisticsSnapshot":
+        return cls(
+            num_packets=len(results),
+            is_error=np.array([r.is_error for r in results], dtype=bool),
+            bit_errors=np.array([r.bit_errors for r in results], dtype=np.int64),
+            num_payload_bits=np.array([r.num_payload_bits for r in results], dtype=np.int64),
+            coded_bit_errors=np.array([r.coded_bit_errors for r in results], dtype=np.int64),
+            num_coded_bits=np.array([r.num_coded_bits for r in results], dtype=np.int64),
+            preamble_detected=np.array([r.preamble_detected for r in results], dtype=bool),
+            feedback_bad=np.array(
+                [(not r.feedback_ok) or (not r.feedback_exact) for r in results], dtype=bool
+            ),
+            coded_bitrates_bps=np.array([r.coded_bitrate_bps for r in results], dtype=float),
+            min_band_snrs_db=np.array([r.min_band_snr_db for r in results], dtype=float),
+        )
+
+
 @dataclass
 class LinkStatistics:
     """Aggregated statistics over many packets."""
 
     results: list[PacketResult] = field(default_factory=list)
+    _snapshot_cache: _StatisticsSnapshot | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _snapshot_tail: PacketResult | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @classmethod
     def from_results(cls, results: list[PacketResult]) -> "LinkStatistics":
@@ -98,6 +142,28 @@ class LinkStatistics:
         """Record one more packet."""
         self.results.append(result)
 
+    def _snapshot(self) -> _StatisticsSnapshot:
+        """Return the cached numpy view, rebuilding it when packets changed.
+
+        Staleness is detected via the result count plus the identity of the
+        last packet (a held reference, so ``is`` cannot be fooled by address
+        reuse), which covers the supported usage (``add``/``extend``-style
+        growth and truncation/replacement at the tail).  Replacing an
+        *interior* element of ``results`` in place while keeping both ends
+        intact is not detected; treat the list as append-only.
+        """
+        cache = self._snapshot_cache
+        tail = self.results[-1] if self.results else None
+        if (
+            cache is None
+            or cache.num_packets != len(self.results)
+            or self._snapshot_tail is not tail
+        ):
+            cache = _StatisticsSnapshot.build(self.results)
+            self._snapshot_cache = cache
+            self._snapshot_tail = tail
+        return cache
+
     # ------------------------------------------------------------------ rates
     @property
     def num_packets(self) -> int:
@@ -107,47 +173,51 @@ class LinkStatistics:
     @property
     def packet_error_rate(self) -> float:
         """Fraction of packets with at least one payload bit error."""
-        if not self.results:
+        snap = self._snapshot()
+        if not snap.num_packets:
             return float("nan")
-        return sum(r.is_error for r in self.results) / len(self.results)
+        return int(snap.is_error.sum()) / snap.num_packets
 
     @property
     def payload_bit_error_rate(self) -> float:
         """Bit error rate of the decoded payloads."""
-        bits = sum(r.num_payload_bits for r in self.results)
+        snap = self._snapshot()
+        bits = int(snap.num_payload_bits.sum())
         if bits == 0:
             return float("nan")
-        return sum(r.bit_errors for r in self.results) / bits
+        return int(snap.bit_errors.sum()) / bits
 
     @property
     def coded_bit_error_rate(self) -> float:
         """Bit error rate of the coded stream before Viterbi decoding."""
-        bits = sum(r.num_coded_bits for r in self.results)
+        snap = self._snapshot()
+        bits = int(snap.num_coded_bits.sum())
         if bits == 0:
             return float("nan")
-        return sum(r.coded_bit_errors for r in self.results) / bits
+        return int(snap.coded_bit_errors.sum()) / bits
 
     @property
     def preamble_detection_rate(self) -> float:
         """Fraction of packets whose preamble was detected."""
-        if not self.results:
+        snap = self._snapshot()
+        if not snap.num_packets:
             return float("nan")
-        return sum(r.preamble_detected for r in self.results) / len(self.results)
+        return int(snap.preamble_detected.sum()) / snap.num_packets
 
     @property
     def feedback_error_rate(self) -> float:
         """Fraction of packets whose feedback was missing or decoded wrongly."""
-        if not self.results:
+        snap = self._snapshot()
+        if not snap.num_packets:
             return float("nan")
-        return sum((not r.feedback_ok) or (not r.feedback_exact) for r in self.results) / len(self.results)
+        return int(snap.feedback_bad.sum()) / snap.num_packets
 
     # --------------------------------------------------------------- bitrates
     @property
     def bitrates_bps(self) -> np.ndarray:
         """Selected coded bitrates of all packets with a known band."""
-        return np.array([
-            r.coded_bitrate_bps for r in self.results if np.isfinite(r.coded_bitrate_bps)
-        ])
+        rates = self._snapshot().coded_bitrates_bps
+        return rates[np.isfinite(rates)]
 
     @property
     def median_bitrate_bps(self) -> float:
@@ -161,7 +231,7 @@ class LinkStatistics:
 
     def min_band_snrs_db(self) -> np.ndarray:
         """Minimum in-band SNR per packet (channel-stability metric)."""
-        return np.array([r.min_band_snr_db for r in self.results])
+        return self._snapshot().min_band_snrs_db.copy()
 
 
 class LinkSession:

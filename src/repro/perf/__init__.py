@@ -1,0 +1,43 @@
+"""Microbenchmark harness and suites (``python -m repro.cli bench``).
+
+The reproduction's north star includes running "as fast as the hardware
+allows"; this package is how that stays measurable.  ``Benchmark`` /
+``BenchResult`` time closures with warmup and repeats, suites cover the
+FEC, OFDM, preamble, channel and end-to-end link hot paths, and results
+persist as ``BENCH_<suite>.json`` files that CI uploads per PR so the perf
+trajectory accumulates.
+"""
+
+from repro.perf.harness import (
+    Benchmark,
+    BenchResult,
+    ComparisonRow,
+    bench_json_path,
+    compare_results,
+    format_comparison,
+    format_results,
+    load_results,
+    write_results,
+)
+from repro.perf.suites import (
+    SUITE_BUILDERS,
+    available_suites,
+    build_suite,
+    run_suite,
+)
+
+__all__ = [
+    "Benchmark",
+    "BenchResult",
+    "ComparisonRow",
+    "SUITE_BUILDERS",
+    "available_suites",
+    "bench_json_path",
+    "build_suite",
+    "compare_results",
+    "format_comparison",
+    "format_results",
+    "load_results",
+    "run_suite",
+    "write_results",
+]

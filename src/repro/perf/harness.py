@@ -1,0 +1,298 @@
+"""Microbenchmark harness with JSON persistence and baseline comparison.
+
+A :class:`Benchmark` wraps a no-argument callable (all setup happens when
+the suite builds the closure, outside the timed region) and produces a
+:class:`BenchResult` holding the raw wall-clock samples plus derived
+statistics.  Results serialize to ``BENCH_<suite>.json`` files at the repo
+root so every PR leaves a perf trajectory behind, and
+:func:`compare_results` turns a stored baseline plus a fresh run into a
+percent-change report for the CLI and CI.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """Timing samples and throughput of one benchmark.
+
+    Attributes
+    ----------
+    name:
+        Benchmark identifier, unique within its suite.
+    suite:
+        Name of the suite the benchmark ran under.
+    times_s:
+        One wall-clock duration per (post-warmup) repeat.
+    items_per_call:
+        How many work items one call processes (coded bits, packets, ...).
+    unit:
+        Human label for those items, e.g. ``"coded bits"``.
+    metadata:
+        Free-form context (workload sizes, implementation flags).
+    """
+
+    name: str
+    suite: str
+    times_s: tuple[float, ...]
+    warmup: int
+    items_per_call: float = 1.0
+    unit: str = "calls"
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def repeats(self) -> int:
+        """Number of timed repeats."""
+        return len(self.times_s)
+
+    @property
+    def mean_s(self) -> float:
+        """Mean wall time per call."""
+        return sum(self.times_s) / len(self.times_s) if self.times_s else float("nan")
+
+    @property
+    def median_s(self) -> float:
+        """Median wall time per call (the headline statistic)."""
+        if not self.times_s:
+            return float("nan")
+        ordered = sorted(self.times_s)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[mid]
+        return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+    @property
+    def min_s(self) -> float:
+        """Fastest repeat."""
+        return min(self.times_s) if self.times_s else float("nan")
+
+    @property
+    def max_s(self) -> float:
+        """Slowest repeat."""
+        return max(self.times_s) if self.times_s else float("nan")
+
+    @property
+    def std_s(self) -> float:
+        """Population standard deviation of the repeats."""
+        if not self.times_s:
+            return float("nan")
+        mean = self.mean_s
+        return math.sqrt(sum((t - mean) ** 2 for t in self.times_s) / len(self.times_s))
+
+    @property
+    def throughput_per_s(self) -> float:
+        """Items processed per second, based on the median repeat."""
+        median = self.median_s
+        if not median or math.isnan(median):
+            return float("nan")
+        return self.items_per_call / median
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize, including derived statistics for human readers."""
+        return {
+            "name": self.name,
+            "suite": self.suite,
+            "times_s": list(self.times_s),
+            "warmup": self.warmup,
+            "repeats": self.repeats,
+            "items_per_call": self.items_per_call,
+            "unit": self.unit,
+            "mean_s": self.mean_s,
+            "median_s": self.median_s,
+            "min_s": self.min_s,
+            "max_s": self.max_s,
+            "std_s": self.std_s,
+            "throughput_per_s": self.throughput_per_s,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "BenchResult":
+        """Rebuild a result from :meth:`to_dict` output (derived stats ignored)."""
+        return cls(
+            name=str(data["name"]),
+            suite=str(data.get("suite", "")),
+            times_s=tuple(float(t) for t in data["times_s"]),
+            warmup=int(data.get("warmup", 0)),
+            items_per_call=float(data.get("items_per_call", 1.0)),
+            unit=str(data.get("unit", "calls")),
+            metadata=dict(data.get("metadata", {})),
+        )
+
+
+@dataclass
+class Benchmark:
+    """A named, repeatable timing target.
+
+    Parameters
+    ----------
+    name:
+        Identifier, unique within the suite.
+    func:
+        No-argument callable timed once per repeat.  Build inputs when
+        constructing the benchmark so setup stays outside the timing.
+    items_per_call, unit:
+        Work-per-call accounting used for throughput reporting.
+    repeats, warmup:
+        Default repeat counts; :meth:`run` arguments override them.
+    """
+
+    name: str
+    func: Callable[[], Any]
+    items_per_call: float = 1.0
+    unit: str = "calls"
+    repeats: int = 5
+    warmup: int = 1
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def run(
+        self,
+        suite: str = "",
+        repeats: int | None = None,
+        warmup: int | None = None,
+    ) -> BenchResult:
+        """Execute warmup + timed repeats and return the result."""
+        repeats = self.repeats if repeats is None else int(repeats)
+        warmup = self.warmup if warmup is None else int(warmup)
+        if repeats < 1:
+            raise ValueError("repeats must be at least 1")
+        if warmup < 0:
+            raise ValueError("warmup must be non-negative")
+        for _ in range(warmup):
+            self.func()
+        times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            self.func()
+            times.append(time.perf_counter() - start)
+        return BenchResult(
+            name=self.name,
+            suite=suite,
+            times_s=tuple(times),
+            warmup=warmup,
+            items_per_call=self.items_per_call,
+            unit=self.unit,
+            metadata=dict(self.metadata),
+        )
+
+
+# ------------------------------------------------------------------ persistence
+def bench_json_path(suite: str, directory: str | Path = ".") -> Path:
+    """Return the conventional ``BENCH_<suite>.json`` path for a suite."""
+    return Path(directory) / f"BENCH_{suite}.json"
+
+
+def write_results(
+    suite: str,
+    results: list[BenchResult],
+    directory: str | Path = ".",
+    quick: bool = False,
+) -> Path:
+    """Write a suite's results to ``BENCH_<suite>.json`` and return the path."""
+    path = bench_json_path(suite, directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "suite": suite,
+        "quick": bool(quick),
+        "created_unix": time.time(),
+        "results": [result.to_dict() for result in results],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def load_results(path: str | Path) -> tuple[str, list[BenchResult]]:
+    """Load ``(suite_name, results)`` from a ``BENCH_*.json`` file."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict):
+        raise ValueError(f"{path} is not a BENCH_*.json file (top level must be an object)")
+    suite = str(data.get("suite", ""))
+    results = [BenchResult.from_dict(entry) for entry in data.get("results", [])]
+    return suite, results
+
+
+# ------------------------------------------------------------------ comparison
+@dataclass(frozen=True)
+class ComparisonRow:
+    """Median-time change of one benchmark between two runs."""
+
+    name: str
+    baseline_s: float
+    current_s: float
+
+    @property
+    def percent_change(self) -> float:
+        """Signed median-time change; negative means the benchmark got faster."""
+        if not self.baseline_s:
+            return float("nan")
+        return (self.current_s - self.baseline_s) / self.baseline_s * 100.0
+
+    @property
+    def speedup(self) -> float:
+        """Baseline over current median; >1 means faster now."""
+        if not self.current_s:
+            return float("nan")
+        return self.baseline_s / self.current_s
+
+
+def compare_results(
+    baseline: list[BenchResult], current: list[BenchResult]
+) -> list[ComparisonRow]:
+    """Match benchmarks by name and compare their median wall times."""
+    baseline_by_name = {result.name: result for result in baseline}
+    rows = []
+    for result in current:
+        base = baseline_by_name.get(result.name)
+        if base is None:
+            continue
+        rows.append(
+            ComparisonRow(
+                name=result.name,
+                baseline_s=base.median_s,
+                current_s=result.median_s,
+            )
+        )
+    return rows
+
+
+def format_comparison(rows: list[ComparisonRow], suite: str = "") -> str:
+    """Render comparison rows as an aligned percent-change table."""
+    if not rows:
+        return "no overlapping benchmarks to compare"
+    width = max(len(row.name) for row in rows)
+    lines = []
+    if suite:
+        lines.append(f"suite {suite} vs baseline:")
+    for row in rows:
+        lines.append(
+            f"  {row.name:<{width}s}  {row.baseline_s * 1000:10.3f} ms -> "
+            f"{row.current_s * 1000:10.3f} ms  {row.percent_change:+7.1f}%  "
+            f"({row.speedup:.2f}x)"
+        )
+    return "\n".join(lines)
+
+
+def format_results(results: list[BenchResult]) -> str:
+    """Render a suite's results as an aligned table for the CLI."""
+    if not results:
+        return "no benchmarks ran"
+    width = max(len(result.name) for result in results)
+    lines = []
+    for result in results:
+        lines.append(
+            f"  {result.name:<{width}s}  median {result.median_s * 1000:10.3f} ms  "
+            f"+/- {result.std_s * 1000:8.3f} ms  "
+            f"{result.throughput_per_s:12.1f} {result.unit}/s  "
+            f"(x{result.repeats})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,238 @@
+"""Benchmark suites over the reproduction's hot paths.
+
+Five suites cover the layers every figure reproduction funnels through:
+
+``fec``
+    Viterbi decoding (vectorized and the retained loop reference, so the
+    speedup is measured rather than asserted), punctured packet decoding
+    and convolutional encoding.
+``ofdm``
+    OFDM symbol modulation and demodulation, single and batched.
+``preamble``
+    Two-stage preamble detection over a noisy capture.
+``channel``
+    The underwater channel convolution (multipath + device chain + noise).
+``link``
+    End-to-end :class:`~repro.link.session.LinkSession` protocol exchanges.
+
+Each builder returns fully-constructed :class:`~repro.perf.harness.Benchmark`
+closures: inputs are prepared at build time so the timed region contains
+only the operation under test.  ``quick=True`` keeps workloads identical
+(numbers stay comparable across modes) and only lowers the repeat counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perf.harness import Benchmark, BenchResult
+
+
+def _repeats(quick: bool, full: int, fast: int = 2) -> int:
+    return fast if quick else full
+
+
+# ---------------------------------------------------------------------- suites
+def fec_suite(quick: bool = False) -> list[Benchmark]:
+    """FEC benchmarks: the 1024-bit decode the acceptance criteria track."""
+    from repro.fec.convolutional import ConvolutionalCode, PuncturedConvolutionalCode
+    from repro.fec.reference import reference_decode
+
+    code = ConvolutionalCode()
+    punctured = PuncturedConvolutionalCode()
+    rng = np.random.default_rng(2022)
+    num_data_bits = 506  # (506 + 6 tail) * 2 outputs = 1024 coded bits
+    data = rng.integers(0, 2, num_data_bits)
+    coded = code.encode(data)
+    soft = (coded * 2.0 - 1.0) + rng.normal(0.0, 0.2, coded.size)
+    packet_bits = rng.integers(0, 2, 16)
+    packet_coded = punctured.encode(packet_bits).astype(float)
+
+    benchmarks = [
+        Benchmark(
+            name="viterbi_decode_1024",
+            func=lambda: code.decode(soft, num_data_bits=num_data_bits),
+            items_per_call=coded.size,
+            unit="coded bits",
+            repeats=_repeats(quick, 20, 3),
+            metadata={"coded_bits": int(coded.size), "implementation": "vectorized"},
+        ),
+        Benchmark(
+            name="viterbi_decode_1024_reference",
+            func=lambda: reference_decode(code, soft, num_data_bits=num_data_bits),
+            items_per_call=coded.size,
+            unit="coded bits",
+            repeats=_repeats(quick, 5, 1),
+            metadata={"coded_bits": int(coded.size), "implementation": "loop reference"},
+        ),
+        Benchmark(
+            name="punctured_decode_packet",
+            func=lambda: punctured.decode(packet_coded, num_data_bits=16),
+            items_per_call=packet_coded.size,
+            unit="coded bits",
+            repeats=_repeats(quick, 20, 3),
+            metadata={"payload_bits": 16, "coded_bits": int(packet_coded.size)},
+        ),
+        Benchmark(
+            name="conv_encode_1024",
+            func=lambda: code.encode(data),
+            items_per_call=coded.size,
+            unit="coded bits",
+            repeats=_repeats(quick, 20, 3),
+            metadata={"data_bits": num_data_bits},
+        ),
+    ]
+    return benchmarks
+
+
+def ofdm_suite(quick: bool = False) -> list[Benchmark]:
+    """OFDM modulate/demodulate benchmarks (single symbol and batch)."""
+    from repro.core.config import OFDMConfig
+    from repro.core.ofdm import OFDMModulator
+
+    config = OFDMConfig()
+    modulator = OFDMModulator(config)
+    rng = np.random.default_rng(7)
+    bins = config.data_bins
+    num_symbols = 32
+    values = np.exp(2j * np.pi * rng.random((num_symbols, bins.size)))
+    waveform = modulator.modulate_many(values, bins, add_cyclic_prefix=True).ravel()
+
+    return [
+        Benchmark(
+            name="modulate_single_symbol",
+            func=lambda: modulator.modulate(values[0], bins, add_cyclic_prefix=True),
+            items_per_call=1,
+            unit="symbols",
+            repeats=_repeats(quick, 30, 3),
+            metadata={"bins": int(bins.size)},
+        ),
+        Benchmark(
+            name="modulate_batch",
+            func=lambda: modulator.modulate_many(values, bins, add_cyclic_prefix=True),
+            items_per_call=num_symbols,
+            unit="symbols",
+            repeats=_repeats(quick, 30, 3),
+            metadata={"symbols": num_symbols, "bins": int(bins.size)},
+        ),
+        Benchmark(
+            name="demodulate_batch",
+            func=lambda: modulator.demodulate_many(waveform, num_symbols, bins),
+            items_per_call=num_symbols,
+            unit="symbols",
+            repeats=_repeats(quick, 30, 3),
+            metadata={"symbols": num_symbols, "bins": int(bins.size)},
+        ),
+    ]
+
+
+def preamble_suite(quick: bool = False) -> list[Benchmark]:
+    """Two-stage preamble detection over a noisy capture."""
+    from repro.core.preamble import PreambleDetector, PreambleGenerator
+
+    generator = PreambleGenerator()
+    detector = PreambleDetector(generator)
+    rng = np.random.default_rng(11)
+    template = generator.waveform()
+    offset = 1500
+    capture = rng.normal(0.0, 0.05, template.size * 3)
+    capture[offset:offset + template.size] += template
+
+    return [
+        Benchmark(
+            name="detect_preamble",
+            func=lambda: detector.detect(capture),
+            items_per_call=capture.size,
+            unit="samples",
+            repeats=_repeats(quick, 10, 2),
+            metadata={"capture_samples": int(capture.size)},
+        ),
+        Benchmark(
+            name="extract_preamble_symbols",
+            func=lambda: detector.extract_symbols(capture, offset),
+            items_per_call=generator.num_symbols,
+            unit="symbols",
+            repeats=_repeats(quick, 30, 3),
+            metadata={"symbols": int(generator.num_symbols)},
+        ),
+    ]
+
+
+def channel_suite(quick: bool = False) -> list[Benchmark]:
+    """Underwater channel convolution of a preamble-sized waveform."""
+    from repro.core.preamble import PreambleGenerator
+    from repro.environments.factory import build_channel
+    from repro.environments.sites import SITE_CATALOG
+
+    channel = build_channel(site=SITE_CATALOG["lake"], distance_m=10.0, seed=3)
+    waveform = PreambleGenerator().waveform()
+
+    def transmit() -> None:
+        channel.transmit(waveform, rng=np.random.default_rng(5))
+
+    return [
+        Benchmark(
+            name="channel_transmit_preamble",
+            func=transmit,
+            items_per_call=waveform.size,
+            unit="samples",
+            repeats=_repeats(quick, 10, 2),
+            metadata={"site": "lake", "distance_m": 10.0, "samples": int(waveform.size)},
+        ),
+    ]
+
+
+def link_suite(quick: bool = False) -> list[Benchmark]:
+    """End-to-end protocol exchange throughput (packets per second)."""
+    from repro.environments.factory import build_link_pair
+    from repro.environments.sites import SITE_CATALOG
+    from repro.link.session import LinkSession
+
+    forward, backward = build_link_pair(
+        site=SITE_CATALOG["lake"], distance_m=5.0, seed=17
+    )
+    session = LinkSession(forward, backward, seed=18)
+
+    def run_packet() -> None:
+        session.run_packet(rng=np.random.default_rng(19))
+
+    return [
+        Benchmark(
+            name="link_session_packet",
+            func=run_packet,
+            items_per_call=1,
+            unit="packets",
+            repeats=_repeats(quick, 10, 2),
+            metadata={"site": "lake", "distance_m": 5.0, "scheme": "adaptive"},
+        ),
+    ]
+
+
+SUITE_BUILDERS = {
+    "fec": fec_suite,
+    "ofdm": ofdm_suite,
+    "preamble": preamble_suite,
+    "channel": channel_suite,
+    "link": link_suite,
+}
+
+
+def available_suites() -> tuple[str, ...]:
+    """Names of the registered benchmark suites."""
+    return tuple(SUITE_BUILDERS)
+
+
+def build_suite(name: str, quick: bool = False) -> list[Benchmark]:
+    """Construct the benchmarks of one suite (inputs included)."""
+    try:
+        builder = SUITE_BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown suite {name!r}; available: {', '.join(available_suites())}"
+        ) from None
+    return builder(quick=quick)
+
+
+def run_suite(name: str, quick: bool = False) -> list[BenchResult]:
+    """Build and execute one suite, returning its results."""
+    return [benchmark.run(suite=name) for benchmark in build_suite(name, quick=quick)]

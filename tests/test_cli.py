@@ -97,3 +97,53 @@ def test_mac_command_with_and_without_carrier_sense(capsys):
 def test_invalid_site_rejected():
     with pytest.raises(SystemExit):
         main(["link", "--site", "atlantis"])
+
+
+def test_bench_command_writes_suite_json(capsys, tmp_path):
+    code = main(["bench", "--suite", "fec", "ofdm", "--quick",
+                 "--json", str(tmp_path)])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "suite fec (quick" in output
+    assert "viterbi_decode_1024" in output
+    assert (tmp_path / "BENCH_fec.json").exists()
+    assert (tmp_path / "BENCH_ofdm.json").exists()
+
+    from repro.perf import load_results
+
+    suite, results = load_results(tmp_path / "BENCH_fec.json")
+    assert suite == "fec"
+    assert {r.name for r in results} >= {"viterbi_decode_1024",
+                                         "viterbi_decode_1024_reference"}
+
+
+def test_bench_command_compares_against_baseline(capsys, tmp_path):
+    assert main(["bench", "--suite", "ofdm", "--quick", "--json", str(tmp_path)]) == 0
+    capsys.readouterr()
+    code = main(["bench", "--suite", "ofdm", "--quick", "--json", str(tmp_path),
+                 "--compare", str(tmp_path / "BENCH_ofdm.json")])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "vs baseline" in output
+    assert "%" in output
+
+
+def test_bench_command_rejects_missing_baseline(capsys, tmp_path):
+    code = main(["bench", "--suite", "ofdm", "--quick", "--json", str(tmp_path),
+                 "--compare", str(tmp_path / "missing.json")])
+    assert code == 2
+    assert "cannot read baseline" in capsys.readouterr().err
+
+
+def test_bench_rejects_unknown_suite():
+    with pytest.raises(SystemExit):
+        main(["bench", "--suite", "warp-drive"])
+
+
+def test_bench_command_rejects_malformed_baseline(capsys, tmp_path):
+    bad = tmp_path / "BENCH_bad.json"
+    bad.write_text('{"suite": "ofdm", "results": ["not-a-dict"]}')
+    code = main(["bench", "--suite", "ofdm", "--quick", "--json", str(tmp_path),
+                 "--compare", str(bad)])
+    assert code == 2
+    assert "cannot read baseline" in capsys.readouterr().err

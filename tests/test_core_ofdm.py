@@ -111,3 +111,65 @@ def test_split_symbols(modulator, config):
 def test_constructor_rejects_bad_power(config):
     with pytest.raises(ValueError):
         OFDMModulator(config, symbol_power=0.0)
+
+
+def test_modulate_many_matches_single_symbol_path(modulator, config):
+    rng = np.random.default_rng(21)
+    bins = config.data_bins[:12]
+    values = np.exp(2j * np.pi * rng.random((7, bins.size)))
+    for add_prefix in (True, False):
+        for normalize in (True, False):
+            batch = modulator.modulate_many(
+                values, bins, add_cyclic_prefix=add_prefix, normalize_power=normalize
+            )
+            singles = np.stack([
+                modulator.modulate(row, bins, add_cyclic_prefix=add_prefix,
+                                   normalize_power=normalize)
+                for row in values
+            ])
+            np.testing.assert_array_equal(batch, singles)
+
+
+def test_modulate_many_validates_shapes(modulator, config):
+    bins = config.data_bins[:4]
+    with pytest.raises(ValueError):
+        modulator.modulate_many(np.ones(4, dtype=complex), bins)  # 1-D input
+    with pytest.raises(ValueError):
+        modulator.modulate_many(np.ones((2, 3), dtype=complex), bins)  # width mismatch
+    with pytest.raises(ValueError):
+        modulator.modulate_many(np.ones((2, 1), dtype=complex),
+                                [modulator.num_spectrum_bins])  # bin out of range
+
+
+def test_demodulate_many_matches_single_symbol_path(modulator, config):
+    rng = np.random.default_rng(22)
+    bins = config.data_bins[:10]
+    values = np.exp(2j * np.pi * rng.random((5, bins.size)))
+    waveform = modulator.modulate_many(values, bins).ravel()
+    batch = modulator.demodulate_many(waveform, 5, bins)
+    step = config.extended_symbol_length
+    singles = np.stack([
+        modulator.demodulate(waveform[i * step:(i + 1) * step], bins)
+        for i in range(5)
+    ])
+    np.testing.assert_array_equal(batch, singles)
+    # Full-spectrum variant
+    np.testing.assert_array_equal(
+        modulator.demodulate_many(waveform, 5)[:, bins], batch
+    )
+
+
+def test_demodulate_many_validates_input(modulator):
+    with pytest.raises(ValueError):
+        modulator.demodulate_many(np.zeros(10), 5)
+    with pytest.raises(ValueError):
+        modulator.demodulate_many(np.zeros(10), -1)
+
+
+def test_modulate_many_round_trip_recovers_values(modulator, config):
+    rng = np.random.default_rng(23)
+    bins = config.data_bins[:8]
+    values = np.exp(2j * np.pi * rng.random((3, bins.size)))
+    waveform = modulator.modulate_many(values, bins, normalize_power=False).ravel()
+    recovered = modulator.demodulate_many(waveform, 3, bins)
+    np.testing.assert_allclose(recovered, values, atol=1e-10)
