@@ -29,10 +29,16 @@ SIGCOMM 2022).  It contains:
   processes (with deterministic per-scenario seeding and an optional
   on-disk result cache) into a serializable
   :class:`~repro.experiments.ResultSet`.
+* :mod:`repro.net` -- the multi-hop network layer: a discrete-event
+  simulator for N-node underwater topologies with pluggable routing
+  (flooding, static shortest path, greedy geographic forwarding),
+  sliding-window ARQ transport (Go-Back-N / selective repeat) and two
+  interchangeable link models -- the full PHY per hop, or a fast
+  PER-vs-distance table calibrated from it.
 * :mod:`repro.perf` -- the microbenchmark harness behind
-  ``python -m repro.cli bench``: suites over the FEC/OFDM/preamble/channel
-  and end-to-end link hot paths, persisted as ``BENCH_<suite>.json`` for
-  per-PR perf trajectories.
+  ``python -m repro.cli bench``: suites over the FEC/OFDM/preamble/channel,
+  end-to-end link and network-simulator hot paths, persisted as
+  ``BENCH_<suite>.json`` for per-PR perf trajectories.
 """
 
 from repro.core.config import OFDMConfig, ProtocolConfig
@@ -40,16 +46,26 @@ from repro.core.modem import AquaModem
 from repro.experiments import (
     ExperimentRunner,
     ModemSpec,
+    NetScenario,
     ResultSet,
     RunRecord,
     Scenario,
     Sweep,
+    run_net_scenario,
     run_scenario,
 )
 from repro.link.session import LinkSession, LinkStatistics, PacketResult
+from repro.net import (
+    AcousticNetTopology,
+    ArqConfig,
+    CalibratedLink,
+    NetworkResult,
+    NetworkSimulator,
+    PhysicalLink,
+)
 from repro.perf import Benchmark, BenchResult
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "OFDMConfig",
@@ -59,12 +75,20 @@ __all__ = [
     "LinkStatistics",
     "PacketResult",
     "Scenario",
+    "NetScenario",
     "ModemSpec",
     "Sweep",
     "ExperimentRunner",
     "ResultSet",
     "RunRecord",
     "run_scenario",
+    "run_net_scenario",
+    "AcousticNetTopology",
+    "ArqConfig",
+    "CalibratedLink",
+    "NetworkResult",
+    "NetworkSimulator",
+    "PhysicalLink",
     "Benchmark",
     "BenchResult",
     "__version__",

@@ -14,6 +14,7 @@ from repro.channel.motion import MotionModel, MotionState
 from repro.channel.multipath import ImageMethodGeometry, MultipathModel, PropagationPath
 from repro.channel.noise import AmbientNoiseModel
 from repro.channel.physics import (
+    SOUND_SPEED_M_S,
     absorption_db_per_km,
     sound_speed_m_s,
     spreading_loss_db,
@@ -30,6 +31,7 @@ __all__ = [
     "AmbientNoiseModel",
     "MotionModel",
     "MotionState",
+    "SOUND_SPEED_M_S",
     "sound_speed_m_s",
     "absorption_db_per_km",
     "spreading_loss_db",

@@ -18,10 +18,19 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.dsp.resample import SOUND_SPEED_WATER_M_S
 from repro.utils.validation import require_positive
 
 #: Reference distance for transmission-loss calculations (metres).
 REFERENCE_DISTANCE_M = 1.0
+
+#: Canonical nominal sound speed (m/s) for distance-to-delay conversions.
+#: The paper simply uses 1500 m/s; every layer that needs the nominal value
+#: (MAC sensing delays, network propagation delays, feedback timeouts)
+#: imports this name so the constant is defined exactly once.  The literal
+#: lives in :mod:`repro.dsp.resample` (the lowest layer that needs it);
+#: this is the canonical spelling for everything above the DSP layer.
+SOUND_SPEED_M_S = SOUND_SPEED_WATER_M_S
 
 
 def sound_speed_m_s(

@@ -5,6 +5,7 @@ code::
 
     python -m repro.cli link --site lake --distance 10 --packets 20
     python -m repro.cli sweep --site lake --distance 5 10 20 --scheme adaptive fixed-3k
+    python -m repro.cli net --nodes 50 --routing greedy --traffic poisson
     python -m repro.cli sos --distance 100 --rate 10 --repetitions 5
     python -m repro.cli mac --transmitters 3 --packets 120
     python -m repro.cli bench --quick
@@ -104,6 +105,46 @@ def _add_bench_parser(subparsers) -> None:
                              "compare against (percent-change report)")
 
 
+def _add_net_parser(subparsers) -> None:
+    from repro.experiments.net_scenario import (
+        ARQ_KINDS,
+        LINK_KINDS,
+        TOPOLOGY_KINDS,
+        TRAFFIC_KINDS,
+    )
+    from repro.net.routing import ROUTING_CATALOG
+
+    parser = subparsers.add_parser(
+        "net",
+        help="simulate a multi-hop underwater network",
+        description="Run one repro.net scenario: N nodes at a site, a "
+                    "routing protocol, a per-hop link model (full PHY or "
+                    "the PHY-calibrated fast table), optional sliding-window "
+                    "ARQ and a traffic workload.  Prints PDR, end-to-end "
+                    "latency, hop counts and an energy proxy.",
+    )
+    parser.add_argument("--site", choices=sorted(SITE_CATALOG), default="lake")
+    parser.add_argument("--nodes", type=int, default=9, help="deployment size")
+    parser.add_argument("--topology", choices=TOPOLOGY_KINDS, default="grid")
+    parser.add_argument("--spacing", type=float, default=8.0,
+                        help="node spacing in metres")
+    parser.add_argument("--range", dest="comm_range", type=float, default=12.0,
+                        help="neighbour range in metres")
+    parser.add_argument("--routing", choices=sorted(ROUTING_CATALOG), default="greedy")
+    parser.add_argument("--link", choices=LINK_KINDS, default="calibrated")
+    parser.add_argument("--arq", choices=ARQ_KINDS, default="go-back-n")
+    parser.add_argument("--traffic", choices=TRAFFIC_KINDS, default="poisson")
+    parser.add_argument("--rate", type=float, default=0.02,
+                        help="messages per second per source")
+    parser.add_argument("--duration", type=float, default=120.0,
+                        help="traffic horizon in seconds (simulated)")
+    parser.add_argument("--destination", default=None,
+                        help="fixed destination node (default: random peers)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", metavar="FILE", dest="json_path", default=None,
+                        help="also write the result summary to FILE as JSON")
+
+
 def _add_sos_parser(subparsers) -> None:
     parser = subparsers.add_parser("sos", help="broadcast SoS beacons over a long-range link")
     parser.add_argument("--site", choices=sorted(SITE_CATALOG), default="beach")
@@ -131,6 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_link_parser(subparsers)
     _add_sweep_parser(subparsers)
+    _add_net_parser(subparsers)
     _add_bench_parser(subparsers)
     _add_sos_parser(subparsers)
     _add_mac_parser(subparsers)
@@ -235,6 +277,41 @@ def _run_bench(args) -> int:
     return 0
 
 
+def _run_net(args) -> int:
+    import json
+
+    from repro.experiments.net_scenario import NetScenario
+
+    try:
+        scenario = NetScenario(
+            site=args.site,
+            topology=args.topology,
+            num_nodes=args.nodes,
+            spacing_m=args.spacing,
+            comm_range_m=args.comm_range,
+            routing=args.routing,
+            link=args.link,
+            arq=args.arq,
+            traffic=args.traffic,
+            rate_msgs_per_s=args.rate,
+            duration_s=args.duration,
+            destination=args.destination,
+            seed=args.seed,
+        )
+        simulator = scenario.build_simulator()
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    result = simulator.run(traffic=scenario.build_traffic())
+    print(scenario.describe())
+    print(result.describe())
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+        print(f"  results written to       : {args.json_path}")
+    return 0
+
+
 def _run_sos(args) -> int:
     site = SITE_CATALOG[args.site]
     channel = build_channel(site=site, distance_m=args.distance, seed=args.seed)
@@ -283,6 +360,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "link": _run_link,
         "sweep": _run_sweep,
+        "net": _run_net,
         "bench": _run_bench,
         "sos": _run_sos,
         "mac": _run_mac,

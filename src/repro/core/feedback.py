@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.channel.physics import SOUND_SPEED_M_S
 from repro.core.config import OFDMConfig, ProtocolConfig
 from repro.core.ofdm import OFDMModulator
 
@@ -102,7 +103,7 @@ class FeedbackCodec:
         received = np.asarray(received, dtype=float)
         window = config.symbol_length
         if search_stop is None:
-            max_round_trip_s = 2.0 * self.protocol_config.max_range_m / 1500.0
+            max_round_trip_s = 2.0 * self.protocol_config.max_range_m / SOUND_SPEED_M_S
             search_stop = int(max_round_trip_s * config.sample_rate_hz) + config.extended_symbol_length
         search_stop = min(int(search_stop), received.size - window)
         if search_stop < search_start:

@@ -30,6 +30,7 @@ cache (``cache_dir=...``) makes re-running a partially finished campaign
 free for the points already computed.
 """
 
+from repro.experiments.net_scenario import NetScenario, run_net_scenario
 from repro.experiments.records import DEFAULT_TABLE_COLUMNS, ResultSet, RunRecord
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.scenario import SCHEME_CATALOG, ModemSpec, Scenario, run_scenario
@@ -39,10 +40,12 @@ __all__ = [
     "DEFAULT_TABLE_COLUMNS",
     "ExperimentRunner",
     "ModemSpec",
+    "NetScenario",
     "ResultSet",
     "RunRecord",
     "SCHEME_CATALOG",
     "Scenario",
     "Sweep",
+    "run_net_scenario",
     "run_scenario",
 ]

@@ -1,0 +1,264 @@
+"""Declarative description of one *network* experiment point.
+
+The single-link :class:`~repro.experiments.scenario.Scenario` freezes a
+point-to-point experiment; :class:`NetScenario` does the same for a
+multi-hop :mod:`repro.net` run: deployment shape, routing protocol, link
+model, ARQ configuration, traffic workload and seed.  Like ``Scenario``
+it is frozen, hashable, picklable and JSON-serializable, so network
+points can ride the same sweep/runner machinery and CLI conventions.
+
+>>> from repro.experiments import NetScenario, run_net_scenario
+>>> point = NetScenario(num_nodes=25, routing="greedy", seed=3)
+>>> result = run_net_scenario(point)        # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+
+from repro.environments.sites import SITE_CATALOG
+from repro.experiments.scenario import content_hash
+from repro.net.links import CalibratedLink, LinkModel, PhysicalLink
+from repro.net.routing import ROUTING_CATALOG, build_routing
+from repro.net.simulator import NetworkResult, NetworkSimulator
+from repro.net.topology import AcousticNetTopology
+from repro.net.traffic import (
+    CBRTraffic,
+    PoissonTraffic,
+    SosBroadcastTraffic,
+    TrafficGenerator,
+)
+from repro.net.transport import ArqConfig
+
+#: Deployment shapes :meth:`NetScenario.build_topology` understands.
+TOPOLOGY_KINDS = ("line", "grid", "random")
+
+#: Link-model keys.
+LINK_KINDS = ("calibrated", "physical")
+
+#: Traffic workload keys.
+TRAFFIC_KINDS = ("poisson", "cbr", "sos")
+
+#: ARQ mode keys (``"none"`` disables reliable transport).
+ARQ_KINDS = ("none", "go-back-n", "selective-repeat")
+
+
+@dataclass(frozen=True)
+class NetScenario:
+    """One declarative network experiment point.
+
+    Attributes
+    ----------
+    site:
+        ``SITE_CATALOG`` key providing the acoustics.
+    topology:
+        Deployment shape: ``"line"``, ``"grid"`` or ``"random"``.
+    num_nodes:
+        Deployment size.
+    spacing_m:
+        Node spacing (line/grid); the random deployment covers a square
+        of side ``spacing_m * sqrt(num_nodes)``.
+    comm_range_m:
+        Neighbour range; with grid spacing 8 m and range 12 m a packet
+        crosses the deployment in several hops.
+    depth_m:
+        Device depth for regular deployments.
+    routing:
+        ``ROUTING_CATALOG`` key.
+    link:
+        ``"calibrated"`` (fast table) or ``"physical"`` (full PHY).
+    arq:
+        ``"none"``, ``"go-back-n"`` or ``"selective-repeat"``.
+    window_size, timeout_s, max_retries:
+        ARQ knobs (ignored for ``arq="none"``).
+    traffic:
+        ``"poisson"``, ``"cbr"`` or ``"sos"``.
+    rate_msgs_per_s:
+        Per-source Poisson rate (or ``1/interval`` for CBR).
+    duration_s:
+        Traffic horizon; the run drains all in-flight events afterwards.
+    destination:
+        Fixed destination node name, or ``None`` for random peers
+        (``sos`` traffic broadcasts from node ``n0`` instead).
+    ttl:
+        Hop budget per packet copy.
+    seed:
+        Master seed; identical scenarios replay identically.
+    label:
+        Free-form tag for reports.
+    """
+
+    site: str = "lake"
+    topology: str = "grid"
+    num_nodes: int = 9
+    spacing_m: float = 8.0
+    comm_range_m: float = 12.0
+    depth_m: float = 1.0
+    routing: str = "greedy"
+    link: str = "calibrated"
+    arq: str = "go-back-n"
+    window_size: int = 4
+    timeout_s: float = 6.0
+    max_retries: int = 4
+    traffic: str = "poisson"
+    rate_msgs_per_s: float = 0.02
+    duration_s: float = 120.0
+    destination: str | None = None
+    ttl: int = 8
+    seed: int = 0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.site not in SITE_CATALOG:
+            raise ValueError(
+                f"unknown site {self.site!r}; known: {', '.join(sorted(SITE_CATALOG))}"
+            )
+        for value, options, kind in (
+            (self.topology, TOPOLOGY_KINDS, "topology"),
+            (self.link, LINK_KINDS, "link"),
+            (self.traffic, TRAFFIC_KINDS, "traffic"),
+            (self.arq, ARQ_KINDS, "arq"),
+        ):
+            if value not in options:
+                raise ValueError(
+                    f"unknown {kind} {value!r}; known: {', '.join(options)}"
+                )
+        if self.routing not in ROUTING_CATALOG:
+            raise ValueError(
+                f"unknown routing {self.routing!r}; known: "
+                f"{', '.join(sorted(ROUTING_CATALOG))}"
+            )
+        if self.num_nodes < 2:
+            raise ValueError("num_nodes must be at least 2")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self.rate_msgs_per_s <= 0:
+            raise ValueError("rate_msgs_per_s must be positive")
+        if self.routing == "greedy-depth" and self.arq != "none":
+            raise ValueError(
+                "greedy-depth routing only moves packets shallower, so ARQ "
+                "acknowledgements can never return to the sender; use "
+                "arq='none' (unacknowledged convergecast) with it"
+            )
+        if self.destination is not None:
+            known = {f"n{i}" for i in range(self.num_nodes)}
+            if self.destination not in known:
+                raise ValueError(
+                    f"destination {self.destination!r} is not one of the "
+                    f"{self.num_nodes} generated nodes (n0..n{self.num_nodes - 1})"
+                )
+
+    # ------------------------------------------------------------- components
+    def build_topology(self) -> AcousticNetTopology:
+        """Construct the deployment this scenario describes."""
+        site = SITE_CATALOG[self.site]
+        if self.topology == "random":
+            side = self.spacing_m * math.sqrt(self.num_nodes)
+            return AcousticNetTopology.random_deployment(
+                self.num_nodes, (side, side), site=site,
+                comm_range_m=self.comm_range_m, seed=self.seed,
+            )
+        topology = AcousticNetTopology(site=site, comm_range_m=self.comm_range_m)
+        cols = (
+            self.num_nodes
+            if self.topology == "line"
+            else int(math.ceil(math.sqrt(self.num_nodes)))
+        )
+        for index in range(self.num_nodes):
+            topology.add_node(
+                f"n{index}",
+                (index % cols) * self.spacing_m,
+                (index // cols) * self.spacing_m,
+                self.depth_m,
+            )
+        return topology
+
+    def build_link_model(self) -> LinkModel:
+        """Construct the configured per-hop link model."""
+        if self.link == "physical":
+            return PhysicalLink(site=SITE_CATALOG[self.site], seed=self.seed + 77)
+        return CalibratedLink()
+
+    def build_traffic(self) -> TrafficGenerator:
+        """Construct the configured workload."""
+        if self.traffic == "sos":
+            times = tuple(
+                float(t) for t in range(0, int(self.duration_s), 30)
+            ) or (0.0,)
+            return SosBroadcastTraffic("n0", times_s=times)
+        if self.traffic == "cbr":
+            return CBRTraffic(
+                interval_s=1.0 / self.rate_msgs_per_s,
+                duration_s=self.duration_s,
+                destination=self.destination,
+            )
+        return PoissonTraffic(
+            rate_msgs_per_s=self.rate_msgs_per_s,
+            duration_s=self.duration_s,
+            destination=self.destination,
+        )
+
+    def build_simulator(self) -> NetworkSimulator:
+        """Construct the fully wired simulator for this scenario."""
+        arq = (
+            None
+            if self.arq == "none"
+            else ArqConfig(
+                window_size=self.window_size,
+                seq_modulus=max(2 * self.window_size, 8),
+                timeout_s=self.timeout_s,
+                max_retries=self.max_retries,
+                mode=self.arq,
+            )
+        )
+        return NetworkSimulator(
+            topology=self.build_topology(),
+            routing=build_routing(self.routing),
+            link_model=self.build_link_model(),
+            arq=arq,
+            ttl=self.ttl,
+            seed=self.seed + 1,
+        )
+
+    # ------------------------------------------------------------------- misc
+    def replace(self, **changes) -> "NetScenario":
+        """Copy with some fields changed."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """JSON-safe dictionary form (all fields are primitives)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NetScenario":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(**data)
+
+    def scenario_hash(self) -> str:
+        """Stable content hash (cache key)."""
+        return content_hash(self.to_dict())
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        parts = [
+            self.label or None,
+            self.site,
+            f"{self.num_nodes} nodes ({self.topology})",
+            self.routing,
+            self.link,
+            None if self.arq == "none" else self.arq,
+            f"{self.traffic} {self.duration_s:g} s",
+            f"seed {self.seed}",
+        ]
+        return " | ".join(p for p in parts if p)
+
+    def run(self) -> NetworkResult:
+        """Run the scenario in this process."""
+        return self.build_simulator().run(traffic=self.build_traffic())
+
+
+def run_net_scenario(scenario: NetScenario) -> NetworkResult:
+    """Run one network scenario (pool-friendly module-level function)."""
+    return scenario.run()

@@ -50,6 +50,17 @@ SCHEME_CATALOG: dict[str, FixedBandScheme | str] = {
 }
 
 
+def content_hash(data: dict) -> str:
+    """Stable 16-hex-digit hash of a JSON-safe dictionary.
+
+    The cache key used by :class:`~repro.experiments.runner.\
+    ExperimentRunner`; shared by every scenario flavour so the keying
+    scheme cannot drift between them.
+    """
+    canonical = json.dumps(data, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
 def _resolve(value, catalog: dict, kind: str):
     """Resolve a catalog key to its object, passing objects through."""
     if isinstance(value, str):
@@ -302,8 +313,7 @@ class Scenario:
 
     def scenario_hash(self) -> str:
         """Stable content hash of this scenario (cache key)."""
-        canonical = json.dumps(self.to_dict(), sort_keys=True, default=str)
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+        return content_hash(self.to_dict())
 
     def describe(self) -> str:
         """One-line human-readable summary."""

@@ -16,8 +16,18 @@ messages can be simulated end to end:
 * delivery is confirmed with the single-tone ACK; unacknowledged packets
   are retransmitted up to a configurable limit.
 
-This is the layer a downstream application (e.g. a dive-group messenger)
-would build on.
+Since the :mod:`repro.net` subsystem landed, this class is a thin adapter:
+the MAC timeline of each retransmission round is replayed as events on a
+:class:`repro.net.scheduler.Scheduler`, the same event core the multi-hop
+simulator uses, and PHY resolution happens inside those events.  For
+topologies beyond one hop (relaying, routing, windowed ARQ) use
+:class:`repro.net.simulator.NetworkSimulator` directly.
+
+Reproducibility: the network derives every stochastic component from the
+``seed`` given at construction.  An ``int`` (or ``None``-free) seed makes
+:meth:`UnderwaterMessagingNetwork.run` deterministic *per call* -- running
+the same network twice yields the identical report, where previous
+revisions consumed one shared generator and drifted between calls.
 """
 
 from __future__ import annotations
@@ -32,6 +42,7 @@ from repro.environments.factory import build_link_pair
 from repro.environments.sites import LAKE, Site
 from repro.link.session import LinkSession
 from repro.mac.simulator import MacNetworkSimulator, TransmitterConfig
+from repro.net.scheduler import Scheduler
 from repro.utils.rng import ensure_rng
 
 
@@ -133,6 +144,11 @@ class UnderwaterMessagingNetwork:
         How many times an unacknowledged packet is retransmitted.
     packet_duration_s:
         Airtime of one full protocol exchange (used by the MAC scheduler).
+    seed:
+        Master seed.  An ``int`` (or ``None``) is re-expanded on every
+        :meth:`run`, so repeated runs of the same network are identical; an
+        injected :class:`numpy.random.Generator` is shared (stateful), for
+        callers that deliberately correlate several components.
     """
 
     def __init__(
@@ -154,11 +170,23 @@ class UnderwaterMessagingNetwork:
         self.carrier_sense = bool(carrier_sense)
         self.max_retransmissions = int(max_retransmissions)
         self.packet_duration_s = float(packet_duration_s)
-        self._rng = ensure_rng(seed)
+        if seed is None:
+            # Draw the run seed once so `run` stays repeatable even without
+            # an explicit seed.
+            seed = int(np.random.default_rng().integers(0, 2 ** 31 - 1))
+        self._seed = seed
         self._modem = AquaModem()
 
+    def _run_rng(self) -> np.random.Generator:
+        """Generator for one run: fresh per call unless one was injected."""
+        if isinstance(self._seed, np.random.Generator):
+            return self._seed
+        return ensure_rng(self._seed)
+
     # ------------------------------------------------------------------ MAC
-    def _schedule_transmissions(self, attempts_per_node: dict[str, int]):
+    def _schedule_transmissions(
+        self, attempts_per_node: dict[str, int], rng: np.random.Generator
+    ):
         """Run the MAC simulator for the requested number of packets per node."""
         transmitters = [
             TransmitterConfig(
@@ -176,27 +204,29 @@ class UnderwaterMessagingNetwork:
             packet_duration_s=self.packet_duration_s,
             carrier_sense=self.carrier_sense,
         )
-        return simulator.run(seed=int(self._rng.integers(0, 2 ** 31 - 1)))
+        return simulator.run(seed=int(rng.integers(0, 2 ** 31 - 1)))
 
     # ------------------------------------------------------------------ PHY
-    def _deliver_over_phy(self, node: NetworkNode, message: QueuedMessage) -> tuple[bool, float]:
+    def _deliver_over_phy(
+        self, node: NetworkNode, message: QueuedMessage, rng: np.random.Generator
+    ) -> tuple[bool, float]:
         """Run one physical-layer exchange for a non-collided transmission."""
         forward, backward = build_link_pair(
             site=self.site,
             distance_m=node.distance_to_receiver_m,
             tx_device=node.device,
-            seed=int(self._rng.integers(0, 2 ** 31 - 1)),
+            seed=int(rng.integers(0, 2 ** 31 - 1)),
         )
         session = LinkSession(
             forward, backward, modem=self._modem,
-            receiver_id=node.device_id, seed=int(self._rng.integers(0, 2 ** 31 - 1)),
+            receiver_id=node.device_id, seed=int(rng.integers(0, 2 ** 31 - 1)),
         )
         result = session.run_packet(payload=np.array(message.payload_bits))
         if not result.delivered:
             return False, result.coded_bitrate_bps
         # Delivery is confirmed with the single-tone ACK over the backward channel.
         ack = self._modem.build_ack()
-        ack_received = self._modem.filter_received(backward.transmit(ack, self._rng).samples)
+        ack_received = self._modem.filter_received(backward.transmit(ack, rng).samples)
         start = 0
         stop = self._modem.ofdm_config.extended_symbol_length
         acked = self._modem.decode_ack(ack_received[start:stop + 2048][:stop])
@@ -204,7 +234,15 @@ class UnderwaterMessagingNetwork:
 
     # ------------------------------------------------------------------- run
     def run(self) -> NetworkReport:
-        """Send every queued message and return the aggregate report."""
+        """Send every queued message and return the aggregate report.
+
+        Each retransmission round asks the MAC simulator for a timeline,
+        replays that timeline as events on a :class:`Scheduler` (the same
+        discrete-event core :mod:`repro.net` uses) and resolves every
+        non-collided transmission over the PHY inside its event.
+        """
+        rng = self._run_rng()
+        scheduler = Scheduler()
         pending: dict[str, list[QueuedMessage]] = {
             name: list(node.queue) for name, node in self.nodes.items()
         }
@@ -212,41 +250,49 @@ class UnderwaterMessagingNetwork:
         collisions: dict[QueuedMessage, int] = {}
         delivered: dict[QueuedMessage, bool] = {}
         bitrates: dict[QueuedMessage, float] = {}
-        total_collided = 0
-        total_transmissions = 0
+        counters = {"collided": 0, "transmissions": 0}
 
         for _ in range(1 + self.max_retransmissions):
             remaining = {name: len(queue) for name, queue in pending.items() if queue}
             if not remaining:
                 break
-            schedule = self._schedule_transmissions(remaining)
+            schedule = self._schedule_transmissions(remaining, rng)
             if schedule is None:
                 break
-            # Walk the MAC timeline in order and map each transmission back to
-            # the next queued message of that node.
+            # Replay the MAC timeline as scheduler events; each event maps
+            # its transmission back to the sender's next queued message.
             cursors = {name: 0 for name in pending}
             next_pending: dict[str, list[QueuedMessage]] = {name: [] for name in pending}
-            for record in sorted(schedule.transmissions, key=lambda r: r.start_time_s):
+            round_start = scheduler.now_s
+
+            def resolve(record) -> None:
                 queue = pending[record.transmitter]
                 index = cursors[record.transmitter]
                 if index >= len(queue):
-                    continue
+                    return
                 message = queue[index]
                 cursors[record.transmitter] += 1
                 attempts[message] = attempts.get(message, 0) + 1
-                total_transmissions += 1
+                counters["transmissions"] += 1
                 if record.collided:
                     collisions[message] = collisions.get(message, 0) + 1
-                    total_collided += 1
+                    counters["collided"] += 1
                     success = False
                     bitrate = float("nan")
                 else:
                     node = self.nodes[record.transmitter]
-                    success, bitrate = self._deliver_over_phy(node, message)
+                    success, bitrate = self._deliver_over_phy(node, message, rng)
                 delivered[message] = delivered.get(message, False) or success
                 bitrates[message] = bitrate
                 if not delivered[message]:
                     next_pending[record.transmitter].append(message)
+
+            for record in schedule.transmissions:
+                scheduler.at(
+                    round_start + record.start_time_s,
+                    lambda record=record: resolve(record),
+                )
+            scheduler.run()
             pending = next_pending
 
         records = []
@@ -259,5 +305,8 @@ class UnderwaterMessagingNetwork:
                     delivered=delivered.get(message, False),
                     bitrate_bps=bitrates.get(message, float("nan")),
                 ))
-        collision_fraction = total_collided / total_transmissions if total_transmissions else 0.0
+        collision_fraction = (
+            counters["collided"] / counters["transmissions"]
+            if counters["transmissions"] else 0.0
+        )
         return NetworkReport(records=records, collision_fraction=collision_fraction)

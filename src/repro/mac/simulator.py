@@ -25,11 +25,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.channel.physics import SOUND_SPEED_M_S
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import require_positive
-
-#: Sound speed used to convert distances into propagation delays.
-SOUND_SPEED_M_S = 1500.0
 
 
 @dataclass(frozen=True)

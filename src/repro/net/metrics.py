@@ -1,0 +1,184 @@
+"""End-to-end network metrics.
+
+One :class:`DeliveryRecord` per application payload (or per reachable
+node for broadcasts) plus network-wide counters, aggregated into the
+numbers the evaluation reports: packet delivery ratio, end-to-end
+latency, hop counts, goodput and an energy proxy based on the acoustic
+modem power figures the underwater-routing literature uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Transmit/receive power draw (W) of a small acoustic modem -- the
+#: Evologics S2CR figures quoted by the uwoarouting simulators.  Used for
+#: the energy *proxy*, not for a hardware-accurate budget.
+TX_POWER_W = 2.8
+RX_POWER_W = 1.3
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """Fate of one end-to-end payload.
+
+    Attributes
+    ----------
+    uid:
+        Network packet uid (shared by retransmitted copies).
+    source, destination:
+        End-to-end addresses (a concrete node even for broadcasts: one
+        record per reached node).
+    created_s:
+        Time the payload entered the network.
+    delivered_s:
+        Delivery time, ``nan`` if lost.
+    hop_count:
+        Hops of the delivered copy (0 if lost).
+    kind:
+        ``"data"`` / ``"raw"`` / ``"broadcast"``.
+    """
+
+    uid: int
+    source: str
+    destination: str
+    created_s: float
+    delivered_s: float = float("nan")
+    hop_count: int = 0
+    kind: str = "data"
+
+    @property
+    def delivered(self) -> bool:
+        """Whether the payload arrived."""
+        return bool(np.isfinite(self.delivered_s))
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency (``nan`` if lost)."""
+        return self.delivered_s - self.created_s if self.delivered else float("nan")
+
+
+@dataclass
+class NetworkMetrics:
+    """Aggregate statistics of one network run."""
+
+    records: list[DeliveryRecord] = field(default_factory=list)
+    transmissions: int = 0
+    collisions: int = 0
+    link_drops: int = 0
+    duplicates_suppressed: int = 0
+    ttl_drops: int = 0
+    routing_voids: int = 0
+    tx_airtime_s: float = 0.0
+    rx_airtime_s: float = 0.0
+
+    def add(self, record: DeliveryRecord) -> None:
+        """Record the fate of one payload."""
+        self.records.append(record)
+
+    # -------------------------------------------------------------- delivery
+    @property
+    def offered(self) -> int:
+        """Payloads that entered the network."""
+        return len(self.records)
+
+    @property
+    def delivered(self) -> int:
+        """Payloads that reached their destination."""
+        return sum(r.delivered for r in self.records)
+
+    @property
+    def packet_delivery_ratio(self) -> float:
+        """Delivered over offered (PDR)."""
+        if not self.records:
+            return float("nan")
+        return self.delivered / self.offered
+
+    # --------------------------------------------------------------- latency
+    def latencies_s(self) -> np.ndarray:
+        """End-to-end latencies of delivered payloads."""
+        values = np.array([r.latency_s for r in self.records], dtype=float)
+        return values[np.isfinite(values)]
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean end-to-end latency of delivered payloads."""
+        latencies = self.latencies_s()
+        return float(np.mean(latencies)) if latencies.size else float("nan")
+
+    @property
+    def median_latency_s(self) -> float:
+        """Median end-to-end latency of delivered payloads."""
+        latencies = self.latencies_s()
+        return float(np.median(latencies)) if latencies.size else float("nan")
+
+    # ------------------------------------------------------------------ hops
+    def hop_counts(self) -> np.ndarray:
+        """Hop counts of delivered payloads."""
+        return np.array(
+            [r.hop_count for r in self.records if r.delivered], dtype=int
+        )
+
+    @property
+    def mean_hop_count(self) -> float:
+        """Mean hops of delivered payloads."""
+        hops = self.hop_counts()
+        return float(np.mean(hops)) if hops.size else float("nan")
+
+    @property
+    def max_hop_count(self) -> int:
+        """Longest delivered path."""
+        hops = self.hop_counts()
+        return int(hops.max()) if hops.size else 0
+
+    # -------------------------------------------------------------- goodput
+    def goodput_bps(self, duration_s: float, size_bits: int = 16) -> float:
+        """Delivered payload bits per second over ``duration_s``."""
+        if duration_s <= 0:
+            return float("nan")
+        return self.delivered * size_bits / duration_s
+
+    # --------------------------------------------------------------- energy
+    @property
+    def energy_proxy_j(self) -> float:
+        """Transmit plus receive energy consumed by the whole network."""
+        return TX_POWER_W * self.tx_airtime_s + RX_POWER_W * self.rx_airtime_s
+
+    # --------------------------------------------------------------- reports
+    def to_dict(self) -> dict:
+        """JSON-safe summary (scalars only)."""
+        return {
+            "offered": self.offered,
+            "delivered": self.delivered,
+            "packet_delivery_ratio": self.packet_delivery_ratio,
+            "mean_latency_s": self.mean_latency_s,
+            "median_latency_s": self.median_latency_s,
+            "mean_hop_count": self.mean_hop_count,
+            "max_hop_count": self.max_hop_count,
+            "transmissions": self.transmissions,
+            "collisions": self.collisions,
+            "link_drops": self.link_drops,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "ttl_drops": self.ttl_drops,
+            "routing_voids": self.routing_voids,
+            "energy_proxy_j": self.energy_proxy_j,
+        }
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"  delivered                : {self.delivered}/{self.offered} "
+            f"(PDR {self.packet_delivery_ratio:.1%})",
+            f"  end-to-end latency       : mean {self.mean_latency_s:.2f} s, "
+            f"median {self.median_latency_s:.2f} s",
+            f"  hop count                : mean {self.mean_hop_count:.2f}, "
+            f"max {self.max_hop_count}",
+            f"  transmissions            : {self.transmissions} "
+            f"({self.collisions} collided, {self.link_drops} channel losses)",
+            f"  duplicates suppressed    : {self.duplicates_suppressed}",
+            f"  ttl drops / voids        : {self.ttl_drops} / {self.routing_voids}",
+            f"  energy proxy             : {self.energy_proxy_j:.1f} J",
+        ]
+        return "\n".join(lines)

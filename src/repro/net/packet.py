@@ -1,0 +1,71 @@
+"""The unit the network layer moves around.
+
+A :class:`NetPacket` is immutable; forwarding produces a copy with the
+hop appended (see :meth:`NetPacket.forwarded`), so every copy in flight
+carries its own path while sharing the ``uid`` that identifies the
+end-to-end packet (flooding dedup and delivery accounting key on it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.net.transport import Segment
+
+#: Destination address meaning "every node" (SOS broadcasts).
+BROADCAST = "*"
+
+#: Default time-to-live in hops.
+DEFAULT_TTL = 8
+
+
+@dataclass(frozen=True)
+class NetPacket:
+    """One network-layer packet.
+
+    Attributes
+    ----------
+    uid:
+        End-to-end packet identity, shared by all forwarded copies.
+    kind:
+        ``"data"`` / ``"ack"`` for ARQ segments, ``"raw"`` for
+        unacknowledged datagrams (flooding, broadcasts).
+    source, destination:
+        End-to-end addresses; ``destination`` may be :data:`BROADCAST`.
+    created_s:
+        Simulation time the packet entered the network at its source.
+    ttl:
+        Remaining hop budget; decremented on every forward.
+    size_bits:
+        Payload size used for airtime and goodput accounting.
+    segment:
+        The ARQ segment carried by ``data``/``ack`` packets.
+    path:
+        Every node that transmitted this copy, source first.
+    """
+
+    uid: int
+    kind: str
+    source: str
+    destination: str
+    created_s: float
+    ttl: int = DEFAULT_TTL
+    size_bits: int = 16
+    segment: "Segment | None" = None
+    path: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def hop_count(self) -> int:
+        """Hops taken so far (one per transmission recorded in ``path``)."""
+        return len(self.path)
+
+    @property
+    def previous_hop(self) -> str | None:
+        """The node this copy was last transmitted by."""
+        return self.path[-1] if self.path else None
+
+    def forwarded(self, via: str) -> "NetPacket":
+        """Copy of this packet after being relayed by ``via``."""
+        return replace(self, ttl=self.ttl - 1, path=self.path + (via,))

@@ -1,0 +1,135 @@
+"""Generic discrete-event scheduler.
+
+Everything time-ordered in the network simulator -- transmissions
+completing, packets arriving after their propagation delay, ARQ timers
+firing, traffic sources emitting messages, mobility steps -- is an
+:class:`Event` on one :class:`Scheduler`.  The scheduler is a plain heap
+of ``(time, sequence, event)`` entries: ties are broken by insertion
+order, so runs are fully deterministic, and cancellation is *lazy* (a
+cancelled event stays in the heap but is skipped when popped), which
+keeps :meth:`Scheduler.cancel` O(1) -- ARQ timers are rescheduled far
+more often than they fire.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled action.
+
+    Attributes
+    ----------
+    time_s:
+        Absolute simulation time at which the action runs.
+    sequence:
+        Insertion counter; orders events scheduled for the same instant.
+    action:
+        Zero-argument callable executed when the event fires.
+    cancelled:
+        Lazily-cancelled events are skipped when they reach the heap top.
+    """
+
+    time_s: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Scheduler:
+    """Time-ordered event queue driving one simulation run."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._now_s = 0.0
+        self._num_processed = 0
+
+    # ------------------------------------------------------------- properties
+    @property
+    def now_s(self) -> float:
+        """Current simulation time (start time of the last processed event)."""
+        return self._now_s
+
+    @property
+    def num_processed(self) -> int:
+        """Events executed so far."""
+        return self._num_processed
+
+    @property
+    def num_pending(self) -> int:
+        """Events still queued (cancelled ones excluded)."""
+        return sum(not event.cancelled for event in self._heap)
+
+    # ------------------------------------------------------------- scheduling
+    def at(self, time_s: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` at absolute time ``time_s``."""
+        time_s = float(time_s)
+        if time_s < self._now_s:
+            raise ValueError(
+                f"cannot schedule at {time_s} s: simulation time is already "
+                f"{self._now_s} s"
+            )
+        event = Event(time_s=time_s, sequence=next(self._counter), action=action)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def after(self, delay_s: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` ``delay_s`` seconds from the current time."""
+        if delay_s < 0:
+            raise ValueError(f"delay_s must be non-negative, got {delay_s}")
+        return self.at(self._now_s + float(delay_s), action)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event (no-op if it already ran)."""
+        event.cancelled = True
+
+    # ---------------------------------------------------------------- running
+    def step(self) -> bool:
+        """Run the next pending event; return ``False`` when none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now_s = event.time_s
+            self._num_processed += 1
+            event.action()
+            return True
+        return False
+
+    def run(self, until_s: float | None = None, max_events: int | None = None) -> int:
+        """Process events in time order.
+
+        Parameters
+        ----------
+        until_s:
+            Stop once the next event lies strictly beyond this time (the
+            event stays queued and the clock advances to ``until_s``).
+        max_events:
+            Safety valve: stop after this many events.
+
+        Returns
+        -------
+        int
+            Number of events processed by this call.
+        """
+        processed = 0
+        while self._heap:
+            if max_events is not None and processed >= max_events:
+                break
+            # Peek past lazily-cancelled entries to find the real next event.
+            while self._heap and self._heap[0].cancelled:
+                heapq.heappop(self._heap)
+            if not self._heap:
+                break
+            if until_s is not None and self._heap[0].time_s > until_s:
+                self._now_s = max(self._now_s, float(until_s))
+                break
+            if self.step():
+                processed += 1
+        return processed

@@ -1,0 +1,579 @@
+"""Discrete-event simulation of an N-node underwater acoustic network.
+
+:class:`NetworkSimulator` drives one scenario: application messages from
+a :class:`~repro.net.traffic.TrafficGenerator` enter at their sources,
+a :class:`~repro.net.routing.RoutingProtocol` picks relays hop by hop, a
+:class:`~repro.net.links.LinkModel` resolves each hop's delivery, and --
+when an :class:`~repro.net.transport.ArqConfig` is given -- sliding-window
+ARQ flows provide end-to-end reliability.  Every action is an event on
+one :class:`~repro.net.scheduler.Scheduler`, so propagation delays
+(distance over the shared sound speed), transmission airtimes, ARQ timers
+and mobility steps interleave exactly once, in time order, per seed.
+
+The acoustic medium semantics mirror the MAC layer's: a transmission is a
+local broadcast heard by every in-range neighbour, a node is half-duplex
+(it cannot receive while transmitting), and two receptions overlapping in
+time at the same node collide and destroy each other -- which is what
+makes the "collision, then ARQ retry" sequence of the tests physical
+rather than scripted.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.net.links import CalibratedLink, LinkModel
+from repro.net.metrics import DeliveryRecord, NetworkMetrics
+from repro.net.packet import BROADCAST, DEFAULT_TTL, NetPacket
+from repro.net.routing import FloodingRouting, RoutingProtocol
+from repro.net.scheduler import Event, Scheduler
+from repro.net.topology import AcousticNetTopology
+from repro.net.traffic import AppMessage, TrafficGenerator
+from repro.net.transport import ArqConfig, ArqReceiver, ArqSender, FlowStats, Segment
+from repro.utils.rng import ensure_rng
+
+#: Size of an ACK packet on the wire (bits).
+ACK_SIZE_BITS = 8
+
+
+@dataclass
+class _NodeState:
+    """Runtime state of one node."""
+
+    name: str
+    queue: deque = field(default_factory=deque)
+    tx_busy_until_s: float = 0.0
+    seen_uids: set = field(default_factory=set)
+    #: Pending/recent reception intervals: [start, end, event-or-None].
+    receptions: list = field(default_factory=list)
+
+
+@dataclass
+class _PendingDelivery:
+    """A payload awaiting its delivery record."""
+
+    uid: int
+    source: str
+    destination: str
+    created_s: float
+    kind: str
+
+
+@dataclass
+class NetworkResult:
+    """Everything one :meth:`NetworkSimulator.run` produced."""
+
+    metrics: NetworkMetrics
+    duration_s: float
+    num_nodes: int
+    routing_name: str
+    link_name: str
+    num_events: int
+    sender_stats: dict[str, FlowStats] = field(default_factory=dict)
+    receiver_stats: dict[str, FlowStats] = field(default_factory=dict)
+    aborted_flows: int = 0
+
+    @property
+    def total_retransmissions(self) -> int:
+        """ARQ retransmissions summed over all flows."""
+        return sum(stats.retransmissions for stats in self.sender_stats.values())
+
+    def describe(self) -> str:
+        """Human-readable report of the run."""
+        header = (
+            f"{self.num_nodes} nodes | routing {self.routing_name} | "
+            f"link {self.link_name} | {self.duration_s:.1f} s simulated | "
+            f"{self.num_events} events"
+        )
+        lines = [header, self.metrics.summary()]
+        if self.sender_stats:
+            lines.append(
+                f"  arq retransmissions      : {self.total_retransmissions} over "
+                f"{len(self.sender_stats)} flow(s)"
+            )
+        if self.aborted_flows:
+            lines.append(
+                f"  arq flows aborted        : {self.aborted_flows} "
+                f"(max retries exhausted)"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary."""
+        data = self.metrics.to_dict()
+        data.update(
+            duration_s=self.duration_s,
+            num_nodes=self.num_nodes,
+            routing=self.routing_name,
+            link=self.link_name,
+            num_events=self.num_events,
+            total_retransmissions=self.total_retransmissions,
+            aborted_flows=self.aborted_flows,
+        )
+        return data
+
+
+class NetworkSimulator:
+    """One multi-hop network scenario, run event by event.
+
+    Parameters
+    ----------
+    topology:
+        Node deployment (positions, ranges, mobility).
+    routing:
+        Relay selection protocol.
+    link_model:
+        Per-hop delivery model (defaults to the fast calibrated table).
+    arq:
+        Enable end-to-end reliable transport with this configuration;
+        ``None`` sends unacknowledged datagrams.
+    ttl:
+        Hop budget per packet copy.
+    collisions:
+        Model receiver-side collisions of overlapping receptions.
+    forward_jitter_s:
+        Relays wait a uniform random delay up to this bound before
+        re-transmitting.  Without it, equidistant relays of the same
+        flood rebroadcast at the identical instant and their copies
+        collide deterministically (the broadcast-storm pathology).
+    mobility_interval_s:
+        When set, apply one topology mobility step (and re-prepare the
+        routing tables) at this period.
+    seed:
+        Master seed; a given (topology, traffic, seed) triple replays
+        bit-identically.
+    """
+
+    def __init__(
+        self,
+        topology: AcousticNetTopology,
+        routing: RoutingProtocol,
+        link_model: LinkModel | None = None,
+        arq: ArqConfig | None = None,
+        ttl: int = DEFAULT_TTL,
+        collisions: bool = True,
+        forward_jitter_s: float = 0.15,
+        mobility_interval_s: float | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if topology.num_nodes < 2:
+            raise ValueError("the network needs at least two nodes")
+        self.topology = topology
+        self.routing = routing
+        self.link_model = link_model if link_model is not None else CalibratedLink()
+        self.arq = arq
+        self.ttl = int(ttl)
+        self.collisions = bool(collisions)
+        self.forward_jitter_s = float(forward_jitter_s)
+        self.mobility_interval_s = mobility_interval_s
+        self._rng = ensure_rng(seed)
+        self._scheduler = Scheduler()
+        self._nodes = {name: _NodeState(name) for name in topology.names}
+        self._uids = itertools.count()
+        self._metrics = NetworkMetrics()
+        self._pending: dict[tuple[str, int], _PendingDelivery] = {}
+        self._payload_sizes: dict[int, int] = {}
+        self._broadcast_routing = FloodingRouting()
+        # Current-epoch sender per (source, destination); an aborted flow is
+        # replaced by a fresh epoch (new flow_id) on the next message, like a
+        # connection reset.  Receivers and stats are keyed by flow_id.
+        self._senders: dict[tuple[str, str], ArqSender] = {}
+        self._senders_by_id: dict[str, ArqSender] = {}
+        self._receivers: dict[str, ArqReceiver] = {}
+        self._flow_epochs: dict[tuple[str, str], int] = {}
+        self._flow_timers: dict[tuple[str, str], Event] = {}
+        self._ran = False
+
+    # -------------------------------------------------------------- injection
+    def send_message(
+        self, source: str, destination: str, time_s: float = 0.0, size_bits: int = 16
+    ) -> None:
+        """Schedule one application message (callable before :meth:`run`)."""
+        message = AppMessage(float(time_s), source, destination, int(size_bits))
+        if message.source not in self.topology:
+            raise ValueError(f"unknown source {message.source!r}")
+        if message.destination != BROADCAST and message.destination not in self.topology:
+            raise ValueError(f"unknown destination {message.destination!r}")
+        self._scheduler.at(message.time_s, lambda: self._on_app_message(message))
+
+    # ------------------------------------------------------------------- run
+    def run(
+        self,
+        traffic: TrafficGenerator | None = None,
+        until_s: float | None = None,
+        max_events: int = 2_000_000,
+    ) -> NetworkResult:
+        """Execute the scenario and return its metrics.
+
+        The event queue drains naturally: traffic is finite, every packet
+        copy carries a TTL, and ARQ flows stop once done or aborted, so
+        ``until_s`` is a cap, not a requirement.
+        """
+        if self._ran:
+            raise RuntimeError(
+                "NetworkSimulator.run is one-shot; build a new simulator "
+                "(same seed) to replay the scenario"
+            )
+        self._ran = True
+        if traffic is not None:
+            for message in traffic.messages(self.topology, self._rng):
+                self.send_message(
+                    message.source, message.destination, message.time_s,
+                    message.size_bits,
+                )
+        self.routing.prepare(self.topology)
+        if self.mobility_interval_s is not None:
+            self._scheduler.after(self.mobility_interval_s, self._on_mobility_step)
+        self._scheduler.run(until_s=until_s, max_events=max_events)
+        self._finalize_lost()
+        sender_stats = {
+            flow_id: sender.stats for flow_id, sender in self._senders_by_id.items()
+        }
+        receiver_stats = {
+            flow_id: receiver.stats for flow_id, receiver in self._receivers.items()
+        }
+        return NetworkResult(
+            metrics=self._metrics,
+            duration_s=self._scheduler.now_s,
+            num_nodes=self.topology.num_nodes,
+            routing_name=self.routing.name,
+            link_name=self.link_model.name,
+            num_events=self._scheduler.num_processed,
+            sender_stats=sender_stats,
+            receiver_stats=receiver_stats,
+            aborted_flows=sum(
+                sender.failed for sender in self._senders_by_id.values()
+            ),
+        )
+
+    def _finalize_lost(self) -> None:
+        for pending in self._pending.values():
+            self._metrics.add(
+                DeliveryRecord(
+                    uid=pending.uid,
+                    source=pending.source,
+                    destination=pending.destination,
+                    created_s=pending.created_s,
+                    kind=pending.kind,
+                )
+            )
+        self._pending.clear()
+
+    # -------------------------------------------------------------- app layer
+    def _on_app_message(self, message: AppMessage) -> None:
+        now = self._scheduler.now_s
+        if message.destination == BROADCAST:
+            uid = next(self._uids)
+            # One pending record per potential receiver: broadcast PDR is
+            # the fraction of the group the beacon reaches.
+            for name in self.topology.names:
+                if name != message.source:
+                    self._pending[(name, uid)] = _PendingDelivery(
+                        uid, message.source, name, now, "broadcast"
+                    )
+            packet = NetPacket(
+                uid=uid, kind="raw", source=message.source,
+                destination=BROADCAST, created_s=now, ttl=self.ttl,
+                size_bits=message.size_bits,
+            )
+            self._enqueue(message.source, packet)
+            return
+        if self.arq is None:
+            uid = next(self._uids)
+            self._pending[(message.destination, uid)] = _PendingDelivery(
+                uid, message.source, message.destination, now, "raw"
+            )
+            packet = NetPacket(
+                uid=uid, kind="raw", source=message.source,
+                destination=message.destination, created_s=now, ttl=self.ttl,
+                size_bits=message.size_bits,
+            )
+            self._enqueue(message.source, packet)
+            return
+        # Reliable flow: the payload *is* the delivery-record uid.
+        key = (message.source, message.destination)
+        sender = self._senders.get(key)
+        if sender is None or sender.failed:
+            epoch = self._flow_epochs.get(key, -1) + 1
+            self._flow_epochs[key] = epoch
+            sender = ArqSender(f"{key[0]}>{key[1]}#{epoch}", self.arq)
+            self._senders[key] = sender
+            self._senders_by_id[sender.flow_id] = sender
+        uid = next(self._uids)
+        self._pending[(message.destination, uid)] = _PendingDelivery(
+            uid, message.source, message.destination, now, "data"
+        )
+        self._payload_sizes[uid] = message.size_bits
+        sender.offer(uid)
+        self._pump_flow(key)
+
+    # -------------------------------------------------------------- transport
+    def _segment_packet(self, key: tuple[str, str], segment: Segment) -> NetPacket:
+        source, destination = key
+        # The segment payload is the delivery-record uid; look its size up
+        # so ARQ airtime/energy accounting honours AppMessage.size_bits.
+        size_bits = self._payload_sizes.get(segment.payload, 16)
+        return NetPacket(
+            uid=next(self._uids), kind="data", source=source,
+            destination=destination, created_s=self._scheduler.now_s,
+            ttl=self.ttl, size_bits=size_bits, segment=segment,
+        )
+
+    def _pump_flow(self, key: tuple[str, str]) -> None:
+        """Send whatever the flow's window newly allows, then arm its timer."""
+        sender = self._senders[key]
+        now = self._scheduler.now_s
+        for segment in sender.window_transmissions(now):
+            self._enqueue(key[0], self._segment_packet(key, segment))
+        self._arm_flow_timer(key)
+
+    def _arm_flow_timer(self, key: tuple[str, str]) -> None:
+        sender = self._senders[key]
+        existing = self._flow_timers.pop(key, None)
+        if existing is not None:
+            self._scheduler.cancel(existing)
+        deadline = sender.next_timeout_s()
+        if deadline is None:
+            return
+        # Random jitter desynchronizes flows whose packets collided: with
+        # deterministic timers two synchronized losers would re-collide on
+        # every retry forever.
+        jitter = float(self._rng.uniform(0.0, 0.25 * self.arq.timeout_s))
+        deadline = max(deadline, self._scheduler.now_s) + jitter
+        self._flow_timers[key] = self._scheduler.at(
+            deadline, lambda: self._on_flow_timeout(key)
+        )
+
+    def _on_flow_timeout(self, key: tuple[str, str]) -> None:
+        self._flow_timers.pop(key, None)
+        sender = self._senders[key]
+        for segment in sender.on_timeout(self._scheduler.now_s):
+            self._enqueue(key[0], self._segment_packet(key, segment))
+        self._arm_flow_timer(key)
+
+    # --------------------------------------------------------------- mobility
+    def _on_mobility_step(self) -> None:
+        self.topology.step_mobility(self.mobility_interval_s, self._rng)
+        self.routing.prepare(self.topology)
+        if self._scheduler.num_pending > 0:
+            self._scheduler.after(self.mobility_interval_s, self._on_mobility_step)
+
+    # ------------------------------------------------------------ transmitting
+    def _enqueue(self, node_name: str, packet: NetPacket) -> None:
+        node = self._nodes[node_name]
+        node.queue.append(packet)
+        self._service(node)
+
+    def _targets_for(self, node_name: str, packet: NetPacket) -> tuple[str, ...]:
+        if packet.destination == BROADCAST:
+            # Broadcasts always flood, whatever unicast routing is in use.
+            return self._broadcast_routing.next_hops(node_name, packet, self.topology)
+        return self.routing.next_hops(node_name, packet, self.topology)
+
+    def _service(self, node: _NodeState) -> None:
+        """Start transmitting the head-of-queue packet if the node is idle.
+
+        Mirrors the carrier-sense MAC below this layer: while another
+        node's packet is audibly arriving, the transmission is deferred
+        until the channel falls silent (plus a short sensing jitter).
+        Hidden terminals -- nodes out of range of each other -- cannot
+        hear one another and may still collide at a common receiver.
+        """
+        now = self._scheduler.now_s
+        if node.tx_busy_until_s > now:
+            return  # _on_tx_done will call back
+        if self.collisions and node.queue:
+            node.receptions = [entry for entry in node.receptions if entry[1] > now]
+            audible = [
+                end for start, end, _ in node.receptions if start <= now < end
+            ]
+            if audible:
+                defer = max(audible) + float(self._rng.uniform(0.0, 0.08))
+                self._scheduler.at(defer, lambda: self._service(node))
+                return
+        while node.queue:
+            packet = node.queue.popleft()
+            if packet.ttl <= 0:
+                self._metrics.ttl_drops += 1
+                continue
+            targets = self._targets_for(node.name, packet)
+            if not targets:
+                if (
+                    packet.destination != BROADCAST
+                    and self.routing.reports_voids
+                ):
+                    self._metrics.routing_voids += 1
+                continue
+            self._transmit(node, packet, targets)
+            return
+
+    def _transmit(
+        self, node: _NodeState, packet: NetPacket, targets: tuple[str, ...]
+    ) -> None:
+        now = self._scheduler.now_s
+        copy = packet.forwarded(node.name)
+        farthest = max(self.topology.distance_m(node.name, t) for t in targets)
+        airtime = self.link_model.airtime_s(packet.size_bits, farthest)
+        node.tx_busy_until_s = now + airtime
+        self._metrics.transmissions += 1
+        self._metrics.tx_airtime_s += airtime
+        self._scheduler.at(node.tx_busy_until_s, lambda: self._service(node))
+        # Acoustic transmissions are local broadcasts: *every* in-range
+        # neighbour hears the energy.  Routing targets may capture the
+        # packet; everyone else just gets jammed for its duration (which is
+        # what carrier sense defers on and hidden terminals collide with).
+        target_set = set(targets)
+        for neighbor in self.topology.neighbors(node.name):
+            distance = self.topology.distance_m(node.name, neighbor)
+            start = now + self.topology.propagation_delay_s(node.name, neighbor)
+            end = start + airtime
+            self._metrics.rx_airtime_s += airtime
+            deliverable = None
+            if neighbor in target_set:
+                outcome = self.link_model.deliver(
+                    distance, self._rng, size_bits=packet.size_bits
+                )
+                if outcome.delivered:
+                    deliverable = copy
+                else:
+                    self._metrics.link_drops += 1
+            self._schedule_reception(self._nodes[neighbor], deliverable, start, end)
+
+    def _schedule_reception(
+        self,
+        receiver: _NodeState,
+        packet: NetPacket | None,
+        start_s: float,
+        end_s: float,
+    ) -> None:
+        """Register one arriving transmission at ``receiver``.
+
+        ``packet=None`` means the energy arrives but carries nothing for
+        this node (not a routing target, or the link model dropped it);
+        the interval still participates in carrier sensing and collisions.
+        """
+        now = self._scheduler.now_s
+        if not self.collisions:
+            if packet is not None:
+                self._scheduler.at(
+                    end_s, lambda: self._on_receive(receiver, packet, start_s)
+                )
+            return
+        receiver.receptions = [
+            entry for entry in receiver.receptions if entry[1] > now
+        ]
+        collided = False
+        for entry in receiver.receptions:
+            other_start, other_end, other_event = entry
+            if start_s < other_end and other_start < end_s:
+                collided = True
+                if other_event is not None and not other_event.cancelled:
+                    self._scheduler.cancel(other_event)
+                    entry[2] = None
+                    self._metrics.collisions += 1
+        event = None
+        if packet is not None:
+            if receiver.tx_busy_until_s > start_s:
+                # Half duplex: a node transmitting when the packet starts
+                # arriving cannot capture it (energy still jams).
+                self._metrics.collisions += 1
+            elif collided:
+                self._metrics.collisions += 1
+            else:
+                event = self._scheduler.at(
+                    end_s, lambda: self._on_receive(receiver, packet, start_s)
+                )
+        receiver.receptions.append([start_s, end_s, event])
+
+    # --------------------------------------------------------------- receiving
+    def _on_receive(
+        self, node: _NodeState, packet: NetPacket, start_s: float = float("-inf")
+    ) -> None:
+        # Half duplex, re-checked at reception end: the node may have begun
+        # transmitting *after* this reception was scheduled but before (or
+        # while) the packet arrived; any own transmission overlapping
+        # [start_s, now] wipes the capture.
+        if self.collisions and node.tx_busy_until_s > start_s:
+            self._metrics.collisions += 1
+            return
+        if packet.uid in node.seen_uids:
+            self._metrics.duplicates_suppressed += 1
+            return
+        node.seen_uids.add(packet.uid)
+        now = self._scheduler.now_s
+        is_for_me = packet.destination == node.name
+        is_broadcast = packet.destination == BROADCAST
+        if is_broadcast:
+            self._record_delivery(node.name, packet.uid, packet.hop_count, now)
+            self._relay(node, packet)  # keep flooding outwards
+            return
+        if not is_for_me:
+            self._relay(node, packet)
+            return
+        if packet.kind == "raw":
+            self._record_delivery(node.name, packet.uid, packet.hop_count, now)
+            return
+        if packet.kind == "data":
+            self._on_data_segment(node, packet, now)
+            return
+        if packet.kind == "ack":
+            self._on_ack_segment(node, packet)
+
+    def _relay(self, node: _NodeState, packet: NetPacket) -> None:
+        """Re-queue a packet for forwarding, after the de-sync jitter."""
+        if self.forward_jitter_s > 0.0:
+            delay = float(self._rng.uniform(0.0, self.forward_jitter_s))
+            self._scheduler.after(delay, lambda: self._enqueue(node.name, packet))
+        else:
+            self._enqueue(node.name, packet)
+
+    def _record_delivery(
+        self, node_name: str, uid: int, hop_count: int, now: float
+    ) -> None:
+        pending = self._pending.pop((node_name, uid), None)
+        if pending is None:
+            return
+        self._metrics.add(
+            DeliveryRecord(
+                uid=uid,
+                source=pending.source,
+                destination=pending.destination,
+                created_s=pending.created_s,
+                delivered_s=now,
+                hop_count=hop_count,
+                kind=pending.kind,
+            )
+        )
+
+    def _on_data_segment(
+        self, node: _NodeState, packet: NetPacket, now: float
+    ) -> None:
+        flow_id = packet.segment.flow_id
+        receiver = self._receivers.get(flow_id)
+        if receiver is None:
+            receiver = ArqReceiver(flow_id, self.arq)
+            self._receivers[flow_id] = receiver
+        delivered, ack = receiver.on_data(packet.segment)
+        for payload_uid in delivered:
+            self._record_delivery(node.name, payload_uid, packet.hop_count, now)
+        ack_packet = NetPacket(
+            uid=next(self._uids), kind="ack", source=node.name,
+            destination=packet.source, created_s=now, ttl=self.ttl,
+            size_bits=ACK_SIZE_BITS, segment=ack,
+        )
+        self._enqueue(node.name, ack_packet)
+
+    def _on_ack_segment(self, node: _NodeState, packet: NetPacket) -> None:
+        # The ACK travels dst -> src, so the flow key is reversed.
+        key = (node.name, packet.source)
+        sender = self._senders_by_id.get(packet.segment.flow_id)
+        if sender is None or sender is not self._senders.get(key):
+            return  # ACK for an abandoned epoch
+        now = self._scheduler.now_s
+        for segment in sender.on_ack(packet.segment, now):
+            self._enqueue(key[0], self._segment_packet(key, segment))
+        self._pump_flow(key)

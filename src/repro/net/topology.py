@@ -1,0 +1,238 @@
+"""Node positions, mobility and acoustic geometry of a network.
+
+:class:`AcousticNetTopology` is the shared map every other net component
+consults: routing asks for neighbours and distances, the link models ask
+for per-pair distance, the simulator asks for propagation delays (distance
+over the canonical :data:`~repro.channel.physics.SOUND_SPEED_M_S`) and a
+rough per-pair SNR derived from the same transmission-loss physics the
+channel simulator uses.  Mobility is modelled as per-node velocities plus
+a site-current jitter applied in discrete steps, mirroring how the
+single-link :mod:`repro.channel.motion` models drift within a packet.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.physics import SOUND_SPEED_M_S, transmission_loss_db
+from repro.environments.sites import LAKE, Site
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import require_positive
+
+
+@dataclass(frozen=True)
+class NodePosition:
+    """A node's location: horizontal coordinates plus depth (all metres)."""
+
+    x_m: float
+    y_m: float
+    depth_m: float = 1.0
+
+    def distance_to(self, other: "NodePosition") -> float:
+        """Euclidean 3-D distance to another position."""
+        return math.sqrt(
+            (self.x_m - other.x_m) ** 2
+            + (self.y_m - other.y_m) ** 2
+            + (self.depth_m - other.depth_m) ** 2
+        )
+
+
+class AcousticNetTopology:
+    """Positions and acoustic geometry of an N-node deployment.
+
+    Parameters
+    ----------
+    site:
+        Evaluation site providing water depth, noise level and currents.
+    comm_range_m:
+        Maximum distance at which two nodes are considered neighbours.
+        Defaults to the site's usable range.
+    """
+
+    def __init__(self, site: Site = LAKE, comm_range_m: float | None = None) -> None:
+        self.site = site
+        range_m = site.max_range_m if comm_range_m is None else float(comm_range_m)
+        require_positive(range_m, "comm_range_m")
+        self.comm_range_m = range_m
+        self._positions: dict[str, NodePosition] = {}
+        self._velocities: dict[str, tuple[float, float, float]] = {}
+        # Per-node neighbour lists, rebuilt lazily after any position
+        # change; neighbour lookup sits on the per-transmission hot path.
+        self._neighbor_cache: dict[str, tuple[str, ...]] = {}
+
+    # ------------------------------------------------------------------ nodes
+    def add_node(
+        self,
+        name: str,
+        x_m: float,
+        y_m: float,
+        depth_m: float = 1.0,
+        velocity_m_s: tuple[float, float, float] = (0.0, 0.0, 0.0),
+    ) -> None:
+        """Place a node; ``velocity_m_s`` drives :meth:`step_mobility`."""
+        if name in self._positions:
+            raise ValueError(f"node {name!r} already exists")
+        self._positions[name] = NodePosition(
+            float(x_m), float(y_m), self._clamp_depth(depth_m)
+        )
+        self._velocities[name] = tuple(float(v) for v in velocity_m_s)
+        self._neighbor_cache.clear()
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Node names in insertion order."""
+        return tuple(self._positions)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._positions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._positions
+
+    def position(self, name: str) -> NodePosition:
+        """Current position of ``name``."""
+        try:
+            return self._positions[name]
+        except KeyError:
+            raise KeyError(f"unknown node {name!r}") from None
+
+    # --------------------------------------------------------------- geometry
+    def distance_m(self, a: str, b: str) -> float:
+        """3-D distance between two nodes."""
+        return self.position(a).distance_to(self.position(b))
+
+    def propagation_delay_s(self, a: str, b: str) -> float:
+        """Acoustic propagation delay between two nodes."""
+        return self.distance_m(a, b) / SOUND_SPEED_M_S
+
+    def are_neighbors(self, a: str, b: str) -> bool:
+        """Whether two distinct nodes are within communication range."""
+        return a != b and self.distance_m(a, b) <= self.comm_range_m
+
+    def neighbors(self, name: str) -> tuple[str, ...]:
+        """Names of all nodes within range of ``name``, nearest first."""
+        cached = self._neighbor_cache.get(name)
+        if cached is not None:
+            return cached
+        position = self.position(name)
+        reachable = sorted(
+            (distance, other)
+            for other, other_pos in self._positions.items()
+            if other != name
+            for distance in (position.distance_to(other_pos),)
+            if distance <= self.comm_range_m
+        )
+        result = tuple(other for _, other in reachable)
+        self._neighbor_cache[name] = result
+        return result
+
+    def link_snr_db(self, a: str, b: str, frequency_hz: float = 2500.0) -> float:
+        """Rough per-pair SNR from transmission loss and site noise (dB).
+
+        Diagnostic figure used by link models and routing heuristics; the
+        full channel simulator makes its own per-bin estimate.
+        """
+        distance = max(self.distance_m(a, b), 1e-3)
+        loss_db = float(transmission_loss_db(distance, frequency_hz))
+        return -loss_db - self.site.noise_level_db
+
+    # --------------------------------------------------------------- mobility
+    def _clamp_depth(self, depth_m: float) -> float:
+        return float(np.clip(depth_m, 0.2, self.site.water_depth_m - 0.2))
+
+    def step_mobility(
+        self, dt_s: float, rng: int | np.random.Generator | None = None
+    ) -> None:
+        """Advance every node by its velocity plus site-current jitter."""
+        require_positive(dt_s, "dt_s")
+        rng = ensure_rng(rng)
+        jitter = self.site.current_speed_m_s
+        for name, position in list(self._positions.items()):
+            vx, vy, vz = self._velocities[name]
+            dx = (vx + jitter * float(rng.normal(0.0, 0.3))) * dt_s
+            dy = (vy + jitter * float(rng.normal(0.0, 0.3))) * dt_s
+            dz = vz * dt_s
+            self._positions[name] = NodePosition(
+                position.x_m + dx,
+                position.y_m + dy,
+                self._clamp_depth(position.depth_m + dz),
+            )
+        self._neighbor_cache.clear()
+
+    # --------------------------------------------------------------- builders
+    @classmethod
+    def line(
+        cls,
+        num_nodes: int,
+        spacing_m: float,
+        site: Site = LAKE,
+        comm_range_m: float | None = None,
+        depth_m: float = 1.0,
+        prefix: str = "n",
+    ) -> "AcousticNetTopology":
+        """Evenly spaced chain ``n0 .. n{N-1}`` along the x axis."""
+        require_positive(spacing_m, "spacing_m")
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be at least 1")
+        topology = cls(site=site, comm_range_m=comm_range_m)
+        for index in range(num_nodes):
+            topology.add_node(f"{prefix}{index}", index * spacing_m, 0.0, depth_m)
+        return topology
+
+    @classmethod
+    def grid(
+        cls,
+        rows: int,
+        cols: int,
+        spacing_m: float,
+        site: Site = LAKE,
+        comm_range_m: float | None = None,
+        depth_m: float = 1.0,
+        prefix: str = "n",
+    ) -> "AcousticNetTopology":
+        """``rows x cols`` lattice; node ``n{i}`` in row-major order."""
+        require_positive(spacing_m, "spacing_m")
+        if rows < 1 or cols < 1:
+            raise ValueError("rows and cols must be at least 1")
+        topology = cls(site=site, comm_range_m=comm_range_m)
+        for row in range(rows):
+            for col in range(cols):
+                index = row * cols + col
+                topology.add_node(
+                    f"{prefix}{index}", col * spacing_m, row * spacing_m, depth_m
+                )
+        return topology
+
+    @classmethod
+    def random_deployment(
+        cls,
+        num_nodes: int,
+        area_m: tuple[float, float],
+        site: Site = LAKE,
+        comm_range_m: float | None = None,
+        depth_range_m: tuple[float, float] = (0.5, 2.0),
+        seed: int | np.random.Generator | None = None,
+        prefix: str = "n",
+    ) -> "AcousticNetTopology":
+        """Uniform random deployment over ``area_m`` = (width, height)."""
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be at least 1")
+        width, height = (float(v) for v in area_m)
+        require_positive(width, "area width")
+        require_positive(height, "area height")
+        rng = ensure_rng(seed)
+        topology = cls(site=site, comm_range_m=comm_range_m)
+        low, high = depth_range_m
+        for index in range(num_nodes):
+            topology.add_node(
+                f"{prefix}{index}",
+                float(rng.uniform(0.0, width)),
+                float(rng.uniform(0.0, height)),
+                float(rng.uniform(low, high)),
+            )
+        return topology

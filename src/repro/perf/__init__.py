@@ -3,9 +3,9 @@
 The reproduction's north star includes running "as fast as the hardware
 allows"; this package is how that stays measurable.  ``Benchmark`` /
 ``BenchResult`` time closures with warmup and repeats, suites cover the
-FEC, OFDM, preamble, channel and end-to-end link hot paths, and results
-persist as ``BENCH_<suite>.json`` files that CI uploads per PR so the perf
-trajectory accumulates.
+FEC, OFDM, preamble, channel, end-to-end link and network-simulator hot
+paths, and results persist as ``BENCH_<suite>.json`` files that CI uploads
+per PR so the perf trajectory accumulates.
 """
 
 from repro.perf.harness import (

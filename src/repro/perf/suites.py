@@ -1,6 +1,6 @@
 """Benchmark suites over the reproduction's hot paths.
 
-Five suites cover the layers every figure reproduction funnels through:
+Six suites cover the layers every figure reproduction funnels through:
 
 ``fec``
     Viterbi decoding (vectorized and the retained loop reference, so the
@@ -14,6 +14,9 @@ Five suites cover the layers every figure reproduction funnels through:
     The underwater channel convolution (multipath + device chain + noise).
 ``link``
     End-to-end :class:`~repro.link.session.LinkSession` protocol exchanges.
+``net``
+    The multi-hop network simulator: raw scheduler churn plus complete
+    50-node greedy-routing and 12-node flooding scenarios.
 
 Each builder returns fully-constructed :class:`~repro.perf.harness.Benchmark`
 closures: inputs are prepared at build time so the timed region contains
@@ -208,12 +211,66 @@ def link_suite(quick: bool = False) -> list[Benchmark]:
     ]
 
 
+def net_suite(quick: bool = False) -> list[Benchmark]:
+    """Network-simulator benchmarks: scheduler churn and full scenarios.
+
+    Scenario benchmarks rebuild the simulator inside the timed region on
+    purpose -- a simulator is one-shot, and construction is part of the
+    cost a sweep pays per point.
+    """
+    from repro.experiments.net_scenario import NetScenario
+    from repro.net.scheduler import Scheduler
+
+    def scheduler_churn() -> None:
+        scheduler = Scheduler()
+        for index in range(20_000):
+            scheduler.at(index * 1e-3, lambda: None)
+        scheduler.run()
+
+    fifty_node = NetScenario(
+        num_nodes=50, topology="grid", routing="greedy", arq="go-back-n",
+        duration_s=300.0, rate_msgs_per_s=0.01, destination="n0", seed=7,
+    )
+    flooding = NetScenario(
+        num_nodes=12, topology="grid", routing="flooding", arq="none",
+        traffic="sos", duration_s=90.0, seed=3,
+    )
+
+    return [
+        Benchmark(
+            name="scheduler_20k_events",
+            func=scheduler_churn,
+            items_per_call=20_000,
+            unit="events",
+            repeats=_repeats(quick, 10, 2),
+            metadata={"events": 20_000},
+        ),
+        Benchmark(
+            name="net_50node_greedy_calibrated",
+            func=lambda: fifty_node.run(),
+            items_per_call=1,
+            unit="runs",
+            repeats=_repeats(quick, 10, 2),
+            metadata={"nodes": 50, "routing": "greedy", "link": "calibrated"},
+        ),
+        Benchmark(
+            name="net_12node_flooding_sos",
+            func=lambda: flooding.run(),
+            items_per_call=1,
+            unit="runs",
+            repeats=_repeats(quick, 10, 2),
+            metadata={"nodes": 12, "routing": "flooding", "traffic": "sos"},
+        ),
+    ]
+
+
 SUITE_BUILDERS = {
     "fec": fec_suite,
     "ofdm": ofdm_suite,
     "preamble": preamble_suite,
     "channel": channel_suite,
     "link": link_suite,
+    "net": net_suite,
 }
 
 

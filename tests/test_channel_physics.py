@@ -67,3 +67,13 @@ def test_distance_validation():
         spreading_loss_db(-1.0)
     with pytest.raises(ValueError):
         transmission_loss_db(0.0)
+
+
+def test_nominal_sound_speed_is_shared_by_every_layer():
+    from repro.channel.physics import SOUND_SPEED_M_S
+    from repro.dsp.resample import SOUND_SPEED_WATER_M_S
+    from repro.mac import simulator as mac_simulator
+
+    assert SOUND_SPEED_M_S == 1500.0
+    assert SOUND_SPEED_M_S is SOUND_SPEED_WATER_M_S
+    assert mac_simulator.SOUND_SPEED_M_S is SOUND_SPEED_M_S

@@ -1,0 +1,93 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.net.scheduler import Scheduler
+
+
+def test_events_run_in_time_order():
+    scheduler = Scheduler()
+    order = []
+    scheduler.at(2.0, lambda: order.append("late"))
+    scheduler.at(0.5, lambda: order.append("early"))
+    scheduler.at(1.0, lambda: order.append("middle"))
+    scheduler.run()
+    assert order == ["early", "middle", "late"]
+    assert scheduler.now_s == 2.0
+    assert scheduler.num_processed == 3
+
+
+def test_ties_run_in_insertion_order():
+    scheduler = Scheduler()
+    order = []
+    for tag in ("a", "b", "c"):
+        scheduler.at(1.0, lambda tag=tag: order.append(tag))
+    scheduler.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_after_is_relative_to_current_time():
+    scheduler = Scheduler()
+    times = []
+    scheduler.at(3.0, lambda: scheduler.after(2.0, lambda: times.append(scheduler.now_s)))
+    scheduler.run()
+    assert times == [5.0]
+
+
+def test_cannot_schedule_in_the_past():
+    scheduler = Scheduler()
+    scheduler.at(1.0, lambda: None)
+    scheduler.run()
+    with pytest.raises(ValueError):
+        scheduler.at(0.5, lambda: None)
+    with pytest.raises(ValueError):
+        scheduler.after(-1.0, lambda: None)
+
+
+def test_cancelled_events_are_skipped():
+    scheduler = Scheduler()
+    fired = []
+    keep = scheduler.at(1.0, lambda: fired.append("keep"))
+    drop = scheduler.at(2.0, lambda: fired.append("drop"))
+    scheduler.cancel(drop)
+    scheduler.run()
+    assert fired == ["keep"]
+    assert not keep.cancelled
+    assert scheduler.num_pending == 0
+
+
+def test_run_until_leaves_future_events_queued():
+    scheduler = Scheduler()
+    fired = []
+    scheduler.at(1.0, lambda: fired.append(1))
+    scheduler.at(5.0, lambda: fired.append(5))
+    processed = scheduler.run(until_s=2.0)
+    assert processed == 1
+    assert fired == [1]
+    assert scheduler.num_pending == 1
+    assert scheduler.now_s == 2.0
+    scheduler.run()
+    assert fired == [1, 5]
+
+
+def test_run_max_events_guard():
+    scheduler = Scheduler()
+    for index in range(10):
+        scheduler.at(float(index), lambda: None)
+    assert scheduler.run(max_events=4) == 4
+    assert scheduler.num_pending == 6
+
+
+def test_events_can_schedule_events():
+    scheduler = Scheduler()
+    seen = []
+
+    def chain(depth):
+        seen.append(depth)
+        if depth < 3:
+            scheduler.after(1.0, lambda: chain(depth + 1))
+
+    scheduler.at(0.0, lambda: chain(0))
+    scheduler.run()
+    assert seen == [0, 1, 2, 3]
+    assert scheduler.now_s == 3.0

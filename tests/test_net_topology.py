@@ -1,0 +1,99 @@
+"""Tests for the network topology and its acoustic geometry."""
+
+import numpy as np
+import pytest
+
+from repro.channel.physics import SOUND_SPEED_M_S
+from repro.environments.sites import BRIDGE, LAKE
+from repro.net.topology import AcousticNetTopology, NodePosition
+
+
+def _triangle() -> AcousticNetTopology:
+    topology = AcousticNetTopology(site=LAKE, comm_range_m=12.0)
+    topology.add_node("a", 0.0, 0.0)
+    topology.add_node("b", 10.0, 0.0)
+    topology.add_node("c", 30.0, 0.0)
+    return topology
+
+
+def test_positions_and_distance():
+    position = NodePosition(3.0, 4.0, 1.0)
+    assert position.distance_to(NodePosition(0.0, 0.0, 1.0)) == pytest.approx(5.0)
+    topology = _triangle()
+    assert topology.num_nodes == 3
+    assert topology.distance_m("a", "b") == pytest.approx(10.0)
+    assert "a" in topology and "zz" not in topology
+
+
+def test_duplicate_and_unknown_nodes_raise():
+    topology = _triangle()
+    with pytest.raises(ValueError):
+        topology.add_node("a", 1.0, 1.0)
+    with pytest.raises(KeyError):
+        topology.position("zz")
+
+
+def test_propagation_delay_uses_shared_sound_speed():
+    topology = _triangle()
+    assert topology.propagation_delay_s("a", "b") == pytest.approx(
+        10.0 / SOUND_SPEED_M_S
+    )
+
+
+def test_neighbors_respect_range_and_sort_by_distance():
+    topology = _triangle()
+    assert topology.neighbors("a") == ("b",)  # c is 30 m away, out of range
+    assert topology.neighbors("b") == ("a",)
+    assert not topology.are_neighbors("a", "c")
+    assert not topology.are_neighbors("a", "a")
+    topology.add_node("d", 2.0, 0.0)
+    assert topology.neighbors("a") == ("d", "b")
+
+
+def test_link_snr_decreases_with_distance():
+    topology = _triangle()
+    assert topology.link_snr_db("a", "b") > topology.link_snr_db("a", "c")
+
+
+def test_line_and_grid_builders():
+    line = AcousticNetTopology.line(4, spacing_m=5.0, site=BRIDGE, comm_range_m=6.0)
+    assert line.num_nodes == 4
+    assert line.distance_m("n0", "n3") == pytest.approx(15.0)
+    assert line.neighbors("n1") == ("n0", "n2")
+
+    grid = AcousticNetTopology.grid(2, 3, spacing_m=4.0, comm_range_m=5.0)
+    assert grid.num_nodes == 6
+    assert grid.distance_m("n0", "n5") == pytest.approx(np.hypot(8.0, 4.0))
+
+
+def test_random_deployment_is_seeded_and_in_bounds():
+    first = AcousticNetTopology.random_deployment(10, (50.0, 50.0), seed=3)
+    second = AcousticNetTopology.random_deployment(10, (50.0, 50.0), seed=3)
+    assert first.num_nodes == 10
+    for name in first.names:
+        assert first.position(name) == second.position(name)
+        assert 0.0 <= first.position(name).x_m <= 50.0
+        assert 0.2 <= first.position(name).depth_m <= LAKE.water_depth_m - 0.2
+
+
+def test_mobility_moves_nodes_and_clamps_depth():
+    topology = AcousticNetTopology(site=LAKE, comm_range_m=20.0)
+    topology.add_node("mover", 0.0, 0.0, depth_m=1.0, velocity_m_s=(1.0, 0.0, 10.0))
+    topology.add_node("anchor", 5.0, 0.0)
+    topology.step_mobility(2.0, rng=0)
+    moved = topology.position("mover")
+    assert moved.x_m == pytest.approx(2.0, abs=0.5)  # velocity plus jitter
+    assert moved.depth_m == LAKE.water_depth_m - 0.2  # clamped at the bottom
+    with pytest.raises(ValueError):
+        topology.step_mobility(0.0)
+
+
+def test_builder_validation():
+    with pytest.raises(ValueError):
+        AcousticNetTopology.line(0, spacing_m=5.0)
+    with pytest.raises(ValueError):
+        AcousticNetTopology.grid(0, 3, spacing_m=5.0)
+    with pytest.raises(ValueError):
+        AcousticNetTopology.random_deployment(0, (10.0, 10.0))
+    with pytest.raises(ValueError):
+        AcousticNetTopology(comm_range_m=0.0)
