@@ -28,6 +28,7 @@ from repro.channel.multipath import ImageMethodGeometry, MultipathModel
 from repro.channel.noise import AmbientNoiseModel
 from repro.devices.case import SOFT_POUCH, WaterproofCase
 from repro.devices.models import GALAXY_S9, DeviceModel
+from repro.dsp.fastconv import convolve_cascade, convolve_full, convolve_shared
 from repro.dsp.resample import apply_doppler, doppler_factor
 from repro.utils.rng import ensure_rng
 from repro.utils.units import db_to_amplitude_ratio
@@ -72,6 +73,7 @@ class UnderwaterAcousticChannel:
         sample_rate_hz: float = 48000.0,
         extra_gain_db: float = 0.0,
         seed: int | np.random.Generator | None = None,
+        use_fast_path: bool = True,
     ) -> None:
         self.multipath = multipath
         self.noise = noise
@@ -83,6 +85,12 @@ class UnderwaterAcousticChannel:
         self.orientation_deg = float(orientation_deg)
         self.sample_rate_hz = float(sample_rate_hz)
         self.extra_gain_db = float(extra_gain_db)
+        #: When ``True`` (default) :meth:`transmit` propagates packets through
+        #: the frequency-domain fast path (cached transfer functions, one rFFT
+        #: -> complex multiply -> irFFT).  ``False`` keeps the original
+        #: per-call ``fftconvolve`` pipeline as a golden reference; the two
+        #: agree to ~1e-12 relative (see tests/test_fastpath_golden.py).
+        self.use_fast_path = bool(use_fast_path)
         self._rng = ensure_rng(seed)
         tx_case.check_depth(multipath.geometry.tx_depth_m)
         rx_case.check_depth(multipath.geometry.rx_depth_m)
@@ -120,6 +128,25 @@ class UnderwaterAcousticChannel:
             - self.rx_case.attenuation_db
             + self.extra_gain_db
         )
+
+    def _fixed_gain_ratio(self) -> float:
+        """Cached ``db_to_amplitude_ratio(self.fixed_gain_db())``.
+
+        The link budget only changes when a device, case, orientation or
+        extra gain is swapped, so the per-transmit orientation-pattern
+        interpolation is paid once per configuration.  Keyed by value (the
+        device/case dataclasses are frozen): an identity key could go stale
+        if a replaced object's address were reused.
+        """
+        key = (
+            self.tx_device, self.tx_case, self.rx_case,
+            self.orientation_deg, self.extra_gain_db,
+        )
+        cached = getattr(self, "_gain_ratio_cache", None)
+        if cached is None or cached[0] != key:
+            cached = (key, db_to_amplitude_ratio(self.fixed_gain_db()))
+            self._gain_ratio_cache = cached
+        return cached[1]
 
     # ------------------------------------------------------------- randomness
     def randomize(self, rng: int | np.random.Generator | None = None) -> None:
@@ -186,22 +213,88 @@ class UnderwaterAcousticChannel:
         doppler = doppler_factor(motion_state.radial_speed_m_s)
 
         # Transmit chain: power amplifier level, orientation and case losses.
-        scaled = waveform * db_to_amplitude_ratio(self.fixed_gain_db())
+        scaled = waveform * self._fixed_gain_ratio()
 
-        # Multipath: static component plus (under motion) a drifting component
-        # cross-faded over the duration of the transmission.
+        # Multipath + receive chain.  The tail uses the pre-drift impulse
+        # response on purpose: the output length must be predictable before
+        # the drifted channel is drawn.
         tail = self._impulse_response.size + self._device_fir.size
+        if self.use_fast_path:
+            received = self._propagate_fast(scaled, motion_state, doppler, duration_s, rng)
+        else:
+            received = self._propagate_reference(scaled, motion_state, doppler, duration_s, rng)
+
+        # Pad to a predictable length: input + channel tail.
+        total_length = waveform.size + tail
+        if received.size < total_length:
+            padded = np.zeros(total_length)
+            padded[:received.size] = received
+            received = padded
+        else:
+            received = received[:total_length]
+
+        # np.dot is the fastest way to a sum of squares; the SNR here is a
+        # diagnostic (the modem makes its own per-bin estimate), so the
+        # different reduction order versus np.mean(x**2) is irrelevant.
+        signal_power = float(np.dot(received, received) / received.size) if received.size else 0.0
+        if include_noise:
+            ambient = self.noise.generate(total_length, self.sample_rate_hz, rng)
+            mic_noise = rng.standard_normal(total_length) * db_to_amplitude_ratio(
+                self.rx_device.microphone_noise_db
+            )
+            noise = np.add(ambient, mic_noise, out=mic_noise)
+            noise_power = float(np.dot(noise, noise) / noise.size)
+            received = np.add(received, noise, out=noise)
+        else:
+            noise_power = 1e-30
+        snr_db = 10.0 * np.log10(max(signal_power, 1e-30) / max(noise_power, 1e-30))
+        return ChannelOutput(
+            samples=received,
+            motion=motion_state,
+            doppler=doppler,
+            in_band_snr_db=snr_db,
+        )
+
+    def _drift_mix(
+        self,
+        static_part: np.ndarray,
+        drifted_part: np.ndarray,
+        motion_state: MotionState,
+        duration_s: float,
+    ) -> np.ndarray:
+        """Cross-fade the static and drifted multipath outputs over a packet."""
+        length = max(static_part.size, drifted_part.size)
+        if static_part.size < length:
+            padded = np.zeros(length)
+            padded[:static_part.size] = static_part
+            static_part = padded
+        if drifted_part.size < length:
+            padded = np.zeros(length)
+            padded[:drifted_part.size] = drifted_part
+            drifted_part = padded
+        fade_end = min(1.0, motion_state.drift_rate_per_s * duration_s)
+        fade = np.linspace(0.0, fade_end, length)
+        return (1.0 - fade) * static_part + fade * drifted_part
+
+    def _propagate_reference(
+        self,
+        scaled: np.ndarray,
+        motion_state: MotionState,
+        doppler: float,
+        duration_s: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Seed propagation pipeline: 2-3 separate ``fftconvolve`` passes.
+
+        Retained as the golden reference for the frequency-domain fast path;
+        the equivalence is pinned by tests/test_fastpath_golden.py.
+        """
         static_part = sp_signal.fftconvolve(scaled, self._impulse_response)
         if motion_state.drift_rate_per_s > 0:
             drifted_multipath = self._drifted_multipath(motion_state, rng)
             drifted_response = drifted_multipath.impulse_response(self.sample_rate_hz)
             drifted_part = sp_signal.fftconvolve(scaled, drifted_response)
-            length = max(static_part.size, drifted_part.size)
-            static_part = np.pad(static_part, (0, length - static_part.size))
-            drifted_part = np.pad(drifted_part, (0, length - drifted_part.size))
-            fade_end = min(1.0, motion_state.drift_rate_per_s * duration_s)
-            fade = np.linspace(0.0, fade_end, length)
-            propagated = (1.0 - fade) * static_part + fade * drifted_part
+            propagated = self._drift_mix(static_part, drifted_part, motion_state, duration_s)
             # The drift persists: the next transmission starts from the channel
             # the devices have drifted into, so consecutive transmissions (e.g.
             # the preamble and the later data burst) see different channels --
@@ -217,33 +310,49 @@ class UnderwaterAcousticChannel:
 
         # Receive chain: cascaded device/case frequency response.
         received = sp_signal.fftconvolve(propagated, self._device_fir)
-        received = received[self._device_fir_delay:]
+        return received[self._device_fir_delay:]
 
-        # Pad to a predictable length: input + channel tail.
-        total_length = waveform.size + tail
-        if received.size < total_length:
-            received = np.pad(received, (0, total_length - received.size))
-        else:
-            received = received[:total_length]
+    def _propagate_fast(
+        self,
+        scaled: np.ndarray,
+        motion_state: MotionState,
+        doppler: float,
+        duration_s: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Frequency-domain propagation with cached transfer functions.
 
-        signal_power = float(np.mean(received ** 2)) if received.size else 0.0
-        if include_noise:
-            ambient = self.noise.generate(total_length, self.sample_rate_hz, rng)
-            mic_noise = rng.standard_normal(total_length) * db_to_amplitude_ratio(
-                self.rx_device.microphone_noise_db
+        The static case (no drift, no Doppler) collapses the whole chain
+        into one rFFT, one multiply against the cached combined multipath x
+        device-FIR spectrum and one irFFT.  Under motion drift the two
+        multipath spectra share a single forward FFT of the packet before
+        the time-domain cross-fade; Doppler resampling, which is inherently
+        a time-domain warp, falls back to the cached-kernel FIR convolution
+        afterwards.
+        """
+        drifting = motion_state.drift_rate_per_s > 0
+        moving = abs(doppler - 1.0) > 1e-9
+        if not drifting and not moving:
+            received = convolve_cascade(scaled, self._impulse_response, self._device_fir)
+            return received[self._device_fir_delay:]
+
+        if drifting:
+            drifted_multipath = self._drifted_multipath(motion_state, rng)
+            drifted_response = drifted_multipath.impulse_response(self.sample_rate_hz)
+            static_part, drifted_part = convolve_shared(
+                scaled, (self._impulse_response, drifted_response)
             )
-            noise = ambient + mic_noise
-            noise_power = float(np.mean(noise ** 2))
-            received = received + noise
+            propagated = self._drift_mix(static_part, drifted_part, motion_state, duration_s)
+            self.multipath = drifted_multipath
+            self._impulse_response = drifted_response
         else:
-            noise_power = 1e-30
-        snr_db = 10.0 * np.log10(max(signal_power, 1e-30) / max(noise_power, 1e-30))
-        return ChannelOutput(
-            samples=received,
-            motion=motion_state,
-            doppler=doppler,
-            in_band_snr_db=snr_db,
-        )
+            propagated = convolve_full(scaled, self._impulse_response)
+
+        if moving:
+            propagated = apply_doppler(propagated, doppler)
+
+        received = convolve_full(propagated, self._device_fir)
+        return received[self._device_fir_delay:]
 
     # ------------------------------------------------------------ directions
     def reverse(self, seed: int | np.random.Generator | None = None) -> "UnderwaterAcousticChannel":
@@ -281,6 +390,7 @@ class UnderwaterAcousticChannel:
             sample_rate_hz=self.sample_rate_hz,
             extra_gain_db=self.extra_gain_db,
             seed=rng,
+            use_fast_path=self.use_fast_path,
         )
 
     # ------------------------------------------------------------- diagnostics

@@ -22,14 +22,59 @@ reflection losses change -- reproducing the location dependence of Fig. 3b.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.channel.physics import path_amplitude, sound_speed_m_s
+from repro.channel.physics import absorption_db_per_km, sound_speed_m_s
 from repro.dsp.resample import fractional_delay
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import require_positive
+
+#: Thorp absorption at the 2.5 kHz band centre -- the constant
+#: :func:`repro.channel.physics.path_amplitude` re-derives on every call.
+#: Hoisted so the per-path loss expressions in :meth:`MultipathModel._tap_data`
+#: stay bit-identical to ``path_amplitude(length)`` (same float operations)
+#: while skipping the scalar-numpy call chain on the per-packet drifted
+#: impulse-response rebuilds; the identity is pinned by
+#: tests/test_fastpath_golden.py.
+_ALPHA_2500_DB_PER_KM = absorption_db_per_km(2500.0)
+
+#: Static image-family structure per ``max_bounces``: interleaved image
+#: orders, the per-slot family flag and bounce counts, pre-filtered by the
+#: bounce budget.  Only the vertical separations depend on the geometry, so
+#: the per-packet drifted-channel rebuilds reuse these arrays.
+_FAMILY_CACHE: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = {}
+
+
+def _family_structure(max_bounces: int):
+    cached = _FAMILY_CACHE.get(max_bounces)
+    if cached is None:
+        max_order = max(1, (max_bounces + 1) // 2)
+        orders = np.arange(-max_order, max_order + 1, dtype=float)
+        abs_orders = np.abs(orders).astype(int)
+        # Interleave (family 1, family 2) per order, matching the original
+        # nested-loop enumeration order exactly.
+        orders_interleaved = np.repeat(orders, 2)
+        is_family2 = np.tile(np.array([False, True]), orders.size)
+        surfaces = np.where(
+            is_family2,
+            np.repeat(np.where(orders >= 0, abs_orders + 1, abs_orders - 1), 2),
+            np.repeat(abs_orders, 2),
+        )
+        bottoms = np.repeat(abs_orders, 2)
+        keep = surfaces + bottoms <= max_bounces
+        cached = (
+            orders_interleaved[keep],
+            is_family2[keep],
+            surfaces[keep],
+            bottoms[keep],
+        )
+        for array in cached:
+            array.setflags(write=False)
+        _FAMILY_CACHE[max_bounces] = cached
+    return cached
 
 
 @dataclass(frozen=True)
@@ -118,6 +163,92 @@ class MultipathModel:
     sound_speed_m_s: float = field(default_factory=sound_speed_m_s)
     seed: int | None = None
 
+    def _tap_data(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Sorted, deduplicated tap arrays ``(delays, amplitudes, surface, bottom, lengths)``.
+
+        The numeric core of :meth:`paths`, kept as plain arrays so the
+        per-packet drifted impulse-response rebuilds skip the dataclass
+        round trip.  Bit-identical to the original per-path scalar loop:
+        ``hypot``/``log10`` vectorize to the same results, while the final
+        power laws stay scalar (NumPy's vectorized ``**`` rounds differently
+        from its scalar path).
+        """
+        geom = self.geometry
+        depth = geom.water_depth_m
+        zs, zr = geom.tx_depth_m, geom.rx_depth_m
+        # Both image families for every order m at once, interleaved in the
+        # same (m, family) order the original nested loop produced so the
+        # stable sort below breaks delay ties identically.  The bounce
+        # structure is static per max_bounces; only the vertical separations
+        # depend on the geometry.
+        orders_interleaved, is_family2, surfaces_arr, bottoms_arr = (
+            _family_structure(self.max_bounces)
+        )
+        verticals = 2.0 * depth * orders_interleaved + np.where(
+            is_family2, zr + zs, zr - zs
+        )
+
+        lengths = np.hypot(geom.horizontal_range_m, verticals)
+        clamped = np.maximum(lengths, 1.0)
+        losses = (
+            2.0 * 10.0 * np.log10(clamped)
+            + _ALPHA_2500_DB_PER_KM * lengths / 1000.0
+        )
+        bounce_losses = (
+            surfaces_arr.astype(float) * self.surface_loss_db
+            + bottoms_arr.astype(float) * self.bottom_loss_db
+        )
+        # The power laws stay scalar per path: NumPy's vectorized ``**``
+        # rounds differently from its scalar path, while math.pow is
+        # bit-identical to the scalar ``**`` the original loop used and an
+        # order of magnitude cheaper than np.float64.__pow__.
+        amplitude_list = []
+        odd_surface = (surfaces_arr % 2 == 1).tolist()
+        for loss, bounce_loss, flip in zip(
+            losses.tolist(), bounce_losses.tolist(), odd_surface
+        ):
+            amplitude = math.pow(10.0, -loss / 20.0) * math.pow(10.0, -bounce_loss / 20.0)
+            amplitude_list.append(-amplitude if flip else amplitude)
+        amplitudes = np.asarray(amplitude_list)
+        delays = lengths / self.sound_speed_m_s
+
+        extra_delays, extra_amplitudes, extra_lengths = self._extra_reflector_data()
+        if extra_delays.size:
+            delays = np.concatenate([delays, extra_delays])
+            amplitudes = np.concatenate([amplitudes, extra_amplitudes])
+            lengths = np.concatenate([lengths, extra_lengths])
+            surfaces_arr = np.concatenate(
+                [surfaces_arr, np.zeros(extra_delays.size, dtype=int)]
+            )
+            bottoms_arr = np.concatenate(
+                [bottoms_arr, np.zeros(extra_delays.size, dtype=int)]
+            )
+
+        order = np.argsort(delays, kind="stable")
+        delays = delays[order]
+        amplitudes = amplitudes[order].copy()
+        lengths = lengths[order]
+        surfaces_arr = surfaces_arr[order]
+        bottoms_arr = bottoms_arr[order]
+
+        # Merge essentially identical delays (same rule as _deduplicate):
+        # the merged tap keeps the first path's delay and sums amplitudes.
+        keep = np.ones(delays.size, dtype=bool)
+        last = 0
+        for i in range(1, delays.size):
+            if abs(delays[i] - delays[last]) < 1e-9:
+                amplitudes[last] = amplitudes[last] + amplitudes[i]
+                keep[i] = False
+            else:
+                last = i
+        if not keep.all():
+            delays = delays[keep]
+            amplitudes = amplitudes[keep]
+            lengths = lengths[keep]
+            surfaces_arr = surfaces_arr[keep]
+            bottoms_arr = bottoms_arr[keep]
+        return delays, amplitudes, surfaces_arr, bottoms_arr, lengths
+
     def paths(self) -> list[PropagationPath]:
         """Return the discrete propagation paths, earliest first.
 
@@ -128,87 +259,54 @@ class MultipathModel:
         ``m >= 0``, otherwise one extra bottom bounce).  ``m = 0`` of the
         first family is the direct path.
         """
-        geom = self.geometry
-        depth = geom.water_depth_m
-        zs, zr = geom.tx_depth_m, geom.rx_depth_m
-        paths: list[PropagationPath] = []
-        max_order = max(1, (self.max_bounces + 1) // 2)
-        for m in range(-max_order, max_order + 1):
-            families = (
-                # (vertical separation, surface bounces, bottom bounces)
-                (2.0 * depth * m + (zr - zs), abs(m), abs(m)),
-                (
-                    2.0 * depth * m + (zr + zs),
-                    m + 1 if m >= 0 else abs(m) - 1,
-                    m if m >= 0 else abs(m),
-                ),
+        delays, amplitudes, surfaces, bottoms, lengths = self._tap_data()
+        return [
+            PropagationPath(
+                delay_s=float(delay),
+                amplitude=float(amplitude),
+                num_surface_bounces=int(surface),
+                num_bottom_bounces=int(bottom),
+                length_m=float(length),
             )
-            for vertical, surface_bounces, bottom_bounces in families:
-                total_bounces = surface_bounces + bottom_bounces
-                if total_bounces > self.max_bounces:
-                    continue
-                length = float(np.hypot(geom.horizontal_range_m, vertical))
-                amplitude = path_amplitude(length)
-                amplitude *= 10.0 ** (-(surface_bounces * self.surface_loss_db
-                                        + bottom_bounces * self.bottom_loss_db) / 20.0)
-                if surface_bounces % 2 == 1:
-                    amplitude = -amplitude
-                paths.append(
-                    PropagationPath(
-                        delay_s=length / self.sound_speed_m_s,
-                        amplitude=amplitude,
-                        num_surface_bounces=surface_bounces,
-                        num_bottom_bounces=bottom_bounces,
-                        length_m=length,
-                    )
-                )
-        paths.extend(self._extra_reflector_paths())
-        paths.sort(key=lambda p: p.delay_s)
-        return self._deduplicate(paths)
+            for delay, amplitude, surface, bottom, length in zip(
+                delays, amplitudes, surfaces, bottoms, lengths
+            )
+        ]
 
-    def _extra_reflector_paths(self) -> list[PropagationPath]:
-        """Late arrivals from walls / pillars / moored boats."""
+    def _extra_reflector_data(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Late arrivals from walls / pillars / moored boats, as tap arrays.
+
+        The three random draws per reflector (detour, loss, polarity) come
+        from one batched ``rng.random`` call; NumPy's ``Generator.uniform``
+        is exactly ``low + (high - low) * next_double()``, so the values are
+        bit-identical to the original per-reflector scalar draws.
+
+        Returns ``(delays, amplitudes, lengths)``.
+        """
         if self.extra_reflectors <= 0:
-            return []
+            empty = np.zeros(0)
+            return empty, empty, empty
         rng = ensure_rng(self.seed)
         geom = self.geometry
         direct = float(np.hypot(geom.horizontal_range_m, geom.tx_depth_m - geom.rx_depth_m))
-        paths = []
-        for _ in range(self.extra_reflectors):
-            detour = float(rng.uniform(1.5, 12.0))
-            length = direct + detour
-            reflection_loss_db = float(rng.uniform(4.0, 12.0))
-            amplitude = path_amplitude(length) * 10.0 ** (-reflection_loss_db / 20.0)
-            if rng.random() < 0.5:
-                amplitude = -amplitude
-            paths.append(
-                PropagationPath(
-                    delay_s=length / self.sound_speed_m_s,
-                    amplitude=amplitude,
-                    num_surface_bounces=0,
-                    num_bottom_bounces=0,
-                    length_m=length,
-                )
-            )
-        return paths
-
-    @staticmethod
-    def _deduplicate(paths: list[PropagationPath]) -> list[PropagationPath]:
-        """Merge paths with essentially identical delays."""
-        unique: list[PropagationPath] = []
-        for path in paths:
-            if unique and abs(path.delay_s - unique[-1].delay_s) < 1e-9:
-                merged = PropagationPath(
-                    delay_s=unique[-1].delay_s,
-                    amplitude=unique[-1].amplitude + path.amplitude,
-                    num_surface_bounces=unique[-1].num_surface_bounces,
-                    num_bottom_bounces=unique[-1].num_bottom_bounces,
-                    length_m=unique[-1].length_m,
-                )
-                unique[-1] = merged
-            else:
-                unique.append(path)
-        return unique
+        draws = rng.random(3 * self.extra_reflectors)
+        detours = 1.5 + (12.0 - 1.5) * draws[0::3]
+        lengths = direct + detours
+        reflection_losses_db = 4.0 + (12.0 - 4.0) * draws[1::3]
+        negate = draws[2::3] < 0.5
+        clamped = np.maximum(lengths, 1.0)
+        path_losses = (
+            2.0 * 10.0 * np.log10(clamped)
+            + _ALPHA_2500_DB_PER_KM * lengths / 1000.0
+        )
+        amplitude_list = []
+        for loss, reflection_loss, flip in zip(
+            path_losses.tolist(), reflection_losses_db.tolist(), negate.tolist()
+        ):
+            amplitude = math.pow(10.0, -loss / 20.0) * math.pow(10.0, -reflection_loss / 20.0)
+            amplitude_list.append(-amplitude if flip else amplitude)
+        amplitudes = np.asarray(amplitude_list)
+        return lengths / self.sound_speed_m_s, amplitudes, lengths
 
     # ------------------------------------------------------------------ output
     def impulse_response(
@@ -231,25 +329,34 @@ class MultipathModel:
             Optional cap on the response length in samples.
         """
         require_positive(sample_rate_hz, "sample_rate_hz")
-        paths = self.paths()
-        if not paths:
+        delays, amplitudes, _, _, _ = self._tap_data()
+        if delays.size == 0:
             raise RuntimeError("multipath model produced no paths")
-        first_delay = paths[0].delay_s if normalize_delay else 0.0
-        relative_delays = [(p.delay_s - first_delay) * sample_rate_hz for p in paths]
-        length = int(np.ceil(max(relative_delays))) + 2
+        first_delay = delays[0] if normalize_delay else 0.0
+        relative_delays = (delays - first_delay) * sample_rate_hz
+        length = int(np.ceil(relative_delays[-1] if normalize_delay else relative_delays.max())) + 2
         if max_taps is not None:
             length = min(length, int(max_taps))
         response = np.zeros(max(length, 1))
-        for path, delay in zip(paths, relative_delays):
-            index = int(np.floor(delay))
-            if index >= response.size:
-                continue
-            frac = delay - index
-            # Linear interpolation spreads the tap over two samples, which is
-            # the time-domain counterpart of fractional_delay().
-            response[index] += path.amplitude * (1.0 - frac)
-            if index + 1 < response.size:
-                response[index + 1] += path.amplitude * frac
+        # Linear interpolation spreads each tap over two samples, which is
+        # the time-domain counterpart of fractional_delay().  np.add.at
+        # accumulates unbuffered in operand order, matching a per-path loop
+        # even for coincident indices.
+        indices = np.floor(relative_delays).astype(int)
+        in_range = indices < response.size
+        indices = indices[in_range]
+        fracs = relative_delays[in_range] - indices
+        kept = amplitudes[in_range]
+        # One interleaved scatter-add keeps the accumulation order of the
+        # original per-path loop (main tap, then its +1 neighbour) exact.
+        targets = np.empty(2 * indices.size, dtype=int)
+        targets[0::2] = indices
+        targets[1::2] = indices + 1
+        contributions = np.empty(2 * indices.size)
+        contributions[0::2] = kept * (1.0 - fracs)
+        contributions[1::2] = kept * fracs
+        valid = targets < response.size
+        np.add.at(response, targets[valid], contributions[valid])
         return response
 
     def frequency_response_db(

@@ -103,6 +103,10 @@ def _add_bench_parser(subparsers) -> None:
     parser.add_argument("--compare", metavar="BASELINE", nargs="+", default=None,
                         help="previously written BENCH_*.json files to "
                              "compare against (percent-change report)")
+    parser.add_argument("--fail-above", metavar="PCT", type=float, default=None,
+                        help="exit non-zero if any compared benchmark's median "
+                             "regresses by more than PCT percent -- the perf "
+                             "ratchet CI runs against the committed baselines")
 
 
 def _add_net_parser(subparsers) -> None:
@@ -141,6 +145,11 @@ def _add_net_parser(subparsers) -> None:
     parser.add_argument("--destination", default=None,
                         help="fixed destination node (default: random peers)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--packets-per-point", type=int, default=None,
+                        help="with --link calibrated: rebuild the PER/bitrate "
+                             "table from the full PHY with this many packets "
+                             "per distance (progress/ETA printed) instead of "
+                             "replaying the baked lake table")
     parser.add_argument("--json", metavar="FILE", dest="json_path", default=None,
                         help="also write the result summary to FILE as JSON")
 
@@ -196,7 +205,7 @@ def _run_link(args) -> int:
     )
     session = LinkSession(forward, backward, scheme=_scheme_from_name(args.scheme),
                           seed=args.seed + 1)
-    stats = session.run_many(args.packets)
+    stats = session.run_packets(args.packets)
     print(f"site={site.name} distance={args.distance} m depth={args.depth} m "
           f"motion={args.motion} scheme={args.scheme} packets={args.packets}")
     print(f"  packet error rate        : {stats.packet_error_rate:.1%}")
@@ -248,11 +257,18 @@ def _run_bench(args) -> int:
         compare_results,
         format_comparison,
         format_results,
+        gate_comparison,
         load_results,
         run_suite,
         write_results,
     )
 
+    if args.fail_above is not None and not args.compare:
+        print("error: --fail-above requires --compare baselines", file=sys.stderr)
+        return 2
+    if args.fail_above is not None and args.fail_above < 0:
+        print("error: --fail-above must be non-negative", file=sys.stderr)
+        return 2
     suites = list(args.suite) if args.suite else list(available_suites())
     baselines: dict[str, list] = {}
     for path in args.compare or []:
@@ -263,6 +279,7 @@ def _run_bench(args) -> int:
             return 2
         baselines[suite_name] = results
     mode = "quick" if args.quick else "full"
+    regressions = []
     for name in suites:
         results = run_suite(name, quick=args.quick)
         path = write_results(name, results, directory=args.json_dir, quick=args.quick)
@@ -270,10 +287,24 @@ def _run_bench(args) -> int:
         print(format_results(results))
         baseline = baselines.get(name)
         if baseline is not None:
-            print(format_comparison(compare_results(baseline, results), name))
+            rows = compare_results(baseline, results)
+            print(format_comparison(rows, name))
+            if args.fail_above is not None:
+                regressions.extend((name, row) for row in gate_comparison(rows, args.fail_above))
     unknown = set(baselines) - set(suites)
     if unknown:
         print(f"note: baselines for suites not run were ignored: {', '.join(sorted(unknown))}")
+    if regressions:
+        print(f"PERF GATE FAILED (threshold +{args.fail_above:g}%):", file=sys.stderr)
+        for suite_name, row in regressions:
+            print(
+                f"  {suite_name}/{row.name}: {row.baseline_s * 1000:.3f} ms -> "
+                f"{row.current_s * 1000:.3f} ms ({row.percent_change:+.1f}%)",
+                file=sys.stderr,
+            )
+        return 1
+    if args.fail_above is not None:
+        print(f"perf gate passed (no regression above +{args.fail_above:g}%)")
     return 0
 
 
@@ -297,6 +328,8 @@ def _run_net(args) -> int:
             duration_s=args.duration,
             destination=args.destination,
             seed=args.seed,
+            calibration_packets_per_point=args.packets_per_point,
+            calibration_progress=args.packets_per_point is not None,
         )
         simulator = scenario.build_simulator()
     except ValueError as error:

@@ -94,15 +94,32 @@ def select_frequency_band(
             f"snr_db has {n0} entries but the configuration defines {config.num_data_bins} data bins"
         )
 
+    # Window minima for every width at once via the pairwise-minimum
+    # recurrence min_w[i] = min(min_{w-1}[i], snr[i+w-1]) -- O(n^2) total
+    # instead of one sliding-window reduction per width.  Only the best
+    # window per width is needed later, so the minima buffer is updated in
+    # place and just the (argmax, max) pairs are kept.
+    best_starts = np.empty(n0, dtype=int)
+    best_minima = np.empty(n0)
+    running = snr_db.copy()
+    best = int(np.argmax(running))
+    best_starts[0] = best
+    best_minima[0] = running[best]
+    for width in range(2, n0 + 1):
+        view = running[: n0 - width + 1]
+        np.minimum(view, snr_db[width - 1:], out=view)
+        best = int(np.argmax(view))
+        best_starts[width - 1] = best
+        best_minima[width - 1] = view[best]
+
     for width in range(n0, 0, -1):
         bonus = lam * 10.0 * np.log10(n0 / width)
-        windows = np.lib.stride_tricks.sliding_window_view(snr_db, width)
-        window_minimum = windows.min(axis=1) + bonus
-        qualifying = np.nonzero(window_minimum > threshold)[0]
-        if qualifying.size:
-            # Among equally wide qualifying bands prefer the one with the
-            # highest worst-case SNR, which is the conservative choice.
-            start = int(qualifying[np.argmax(window_minimum[qualifying])])
+        # Among equally wide qualifying bands prefer the one with the
+        # highest worst-case SNR, which is the conservative choice; the
+        # first-qualifying-argmax is exactly what scanning all qualifying
+        # windows yields.
+        if best_minima[width - 1] + bonus > threshold:
+            start = int(best_starts[width - 1])
             end = start + width - 1
             return _build_selection(start, end, config, satisfied=True)
 

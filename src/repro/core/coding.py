@@ -108,16 +108,34 @@ class DataEncoder:
         self._code = PuncturedConvolutionalCode(
             constraint_length=self.protocol_config.constraint_length
         )
+        # Per-band caches: the training waveform and its CAZAC values are
+        # deterministic for a band, and band selections repeat heavily
+        # across the packets of a session.  Entries are read-only arrays.
+        self._training_values_cache: dict[int, np.ndarray] = {}
+        self._training_symbol_cache: dict[tuple[int, int], np.ndarray] = {}
 
     # ------------------------------------------------------------------ helpers
     def training_bin_values(self, band: BandSelection) -> np.ndarray:
         """CAZAC values used for the training symbol inside the band."""
-        return zadoff_chu(band.num_bins, root=3)
+        cached = self._training_values_cache.get(band.num_bins)
+        if cached is None:
+            cached = zadoff_chu(band.num_bins, root=3)
+            cached.setflags(write=False)
+            self._training_values_cache[band.num_bins] = cached
+        return cached
 
     def training_symbol(self, band: BandSelection) -> np.ndarray:
         """Return the known training symbol waveform for a band."""
-        bins = band.absolute_bins()
-        return self._modulator.modulate(self.training_bin_values(band), bins, add_cyclic_prefix=True)
+        key = (band.start_bin, band.end_bin)
+        cached = self._training_symbol_cache.get(key)
+        if cached is None:
+            bins = band.absolute_bins()
+            cached = self._modulator.modulate(
+                self.training_bin_values(band), bins, add_cyclic_prefix=True
+            )
+            cached.setflags(write=False)
+            self._training_symbol_cache[key] = cached
+        return cached
 
     def num_data_symbols(self, num_payload_bits: int, band: BandSelection) -> int:
         """Number of OFDM data symbols needed for a payload in a band."""

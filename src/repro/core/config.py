@@ -18,6 +18,7 @@ experiment) are obtained with :meth:`OFDMConfig.with_subcarrier_spacing`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import cached_property
 
 import numpy as np
 
@@ -82,12 +83,15 @@ class OFDMConfig:
         """Duration of the OFDM symbol including the cyclic prefix."""
         return self.extended_symbol_length / self.sample_rate_hz
 
-    @property
+    # cached_property stores straight into __dict__, which bypasses the
+    # frozen-dataclass setattr guard -- these derived values are immutable
+    # functions of the (frozen) fields and are read on every packet.
+    @cached_property
     def first_data_bin(self) -> int:
         """Index of the first usable data subcarrier."""
         return int(np.ceil(self.band_low_hz / self.subcarrier_spacing_hz))
 
-    @property
+    @cached_property
     def last_data_bin(self) -> int:
         """Index of the last usable data subcarrier (inclusive)."""
         last = int(np.ceil(self.band_high_hz / self.subcarrier_spacing_hz)) - 1
@@ -98,10 +102,12 @@ class OFDMConfig:
         """Number of usable data subcarriers in the communication band."""
         return self.last_data_bin - self.first_data_bin + 1
 
-    @property
+    @cached_property
     def data_bins(self) -> np.ndarray:
-        """Array of usable data subcarrier indices."""
-        return np.arange(self.first_data_bin, self.last_data_bin + 1)
+        """Array of usable data subcarrier indices (read-only)."""
+        bins = np.arange(self.first_data_bin, self.last_data_bin + 1)
+        bins.setflags(write=False)
+        return bins
 
     @property
     def data_bin_frequencies_hz(self) -> np.ndarray:

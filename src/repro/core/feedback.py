@@ -56,6 +56,9 @@ class FeedbackCodec:
         self.ofdm_config = ofdm_config or OFDMConfig()
         self.protocol_config = protocol_config or ProtocolConfig()
         self._modulator = OFDMModulator(self.ofdm_config)
+        # Band selections repeat across a session's packets; the two-tone
+        # symbol for a band is deterministic, so modulate it once.
+        self._symbol_cache: dict[tuple[int, int], np.ndarray] = {}
 
     # ----------------------------------------------------------------- encode
     def encode(self, start_bin: int, end_bin: int) -> np.ndarray:
@@ -72,13 +75,19 @@ class FeedbackCodec:
             raise ValueError(
                 f"feedback bins [{start_bin}, {end_bin}] outside the data band"
             )
+        cached = self._symbol_cache.get((start_bin, end_bin))
+        if cached is not None:
+            return cached
         if start_bin == end_bin:
             bins = np.array([start_bin])
             values = np.array([1.0 + 0.0j])
         else:
             bins = np.array([start_bin, end_bin])
             values = np.array([1.0 + 0.0j, 1.0 + 0.0j])
-        return self._modulator.modulate(values, bins, add_cyclic_prefix=True)
+        symbol = self._modulator.modulate(values, bins, add_cyclic_prefix=True)
+        symbol.setflags(write=False)
+        self._symbol_cache[(start_bin, end_bin)] = symbol
+        return symbol
 
     # ----------------------------------------------------------------- decode
     def decode(
@@ -119,22 +128,32 @@ class FeedbackCodec:
         # window is the one best aligned with the OFDM symbol (minimal
         # spectral leakage), which matters when the two tones arrive with very
         # different strengths because of frequency-selective fading.
-        candidates = []
-        max_score = 0.0
-        for offset in offsets:
-            frame = received[offset:offset + window]
-            spectrum = np.abs(np.fft.rfft(frame)[data_bins]) ** 2
-            energy = float(spectrum.sum())
-            if energy <= 0.0:
-                continue
-            first, second = self._top_two_tones(spectrum)
-            score = float(spectrum[first] + spectrum[second])
-            candidates.append((int(offset), first, second, score, score / energy))
-            max_score = max(max_score, score)
-        if not candidates or max_score <= 0.0:
+        #
+        # All candidate windows are transformed with one batched rFFT and the
+        # per-window tone picking runs vectorized; the selection is identical
+        # to scanning the offsets one at a time.
+        frames = np.lib.stride_tricks.sliding_window_view(received, window)[offsets]
+        spectra = np.abs(np.fft.rfft(frames, axis=1)[:, data_bins]) ** 2
+        energies = spectra.sum(axis=1)
+        valid = energies > 0.0
+        if not np.any(valid):
             return FeedbackDecodeResult(False, -1, -1, -1, 0.0)
-        strong = [c for c in candidates if c[3] >= 0.5 * max_score]
-        best_offset, first, second, _, best_ratio = max(strong, key=lambda c: c[4])
+        spectra = spectra[valid]
+        energies = energies[valid]
+        offsets = offsets[valid]
+        firsts, seconds = self._top_two_tones_batch(spectra)
+        rows = np.arange(spectra.shape[0])
+        scores = spectra[rows, firsts] + spectra[rows, seconds]
+        max_score = float(scores.max())
+        if max_score <= 0.0:
+            return FeedbackDecodeResult(False, -1, -1, -1, 0.0)
+        ratios = scores / energies
+        strong = np.flatnonzero(scores >= 0.5 * max_score)
+        best = int(strong[np.argmax(ratios[strong])])
+        best_offset = int(offsets[best])
+        first = int(firsts[best])
+        second = int(seconds[best])
+        best_ratio = float(ratios[best])
 
         low, high = sorted((first, second))
         start_bin = int(data_bins[low])
@@ -165,3 +184,19 @@ class FeedbackCodec:
         if spectrum[second] < 0.0025 * spectrum[first]:
             return first, first
         return first, second
+
+    @staticmethod
+    def _top_two_tones_batch(spectra: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`_top_two_tones` over rows of ``spectra``."""
+        num_rows, num_bins = spectra.shape
+        rows = np.arange(num_rows)
+        firsts = np.argmax(spectra, axis=1)
+        masked = spectra.copy()
+        masked[rows, firsts] = -np.inf
+        masked[rows, np.maximum(firsts - 1, 0)] = -np.inf
+        masked[rows, np.minimum(firsts + 1, num_bins - 1)] = -np.inf
+        seconds = np.argmax(masked, axis=1)
+        all_masked = ~np.isfinite(masked[rows, seconds])
+        too_weak = spectra[rows, seconds] < 0.0025 * spectra[rows, firsts]
+        seconds = np.where(all_masked | too_weak, firsts, seconds)
+        return firsts, seconds

@@ -27,7 +27,7 @@ import numpy as np
 from repro.core.config import OFDMConfig, ProtocolConfig
 from repro.core.ofdm import OFDMModulator
 from repro.dsp.correlation import (
-    normalized_cross_correlation,
+    TemplateCorrelator,
     sliding_correlation_curve,
 )
 from repro.dsp.sequences import zadoff_chu
@@ -69,6 +69,8 @@ class PreambleGenerator:
         self.zc_root = int(zc_root)
         self._modulator = OFDMModulator(self.ofdm_config)
         self._bin_values = zadoff_chu(self.ofdm_config.num_data_bins, root=self.zc_root)
+        self._base_symbol_cache: np.ndarray | None = None
+        self._waveform_cache: np.ndarray | None = None
 
     @property
     def reference_bin_values(self) -> np.ndarray:
@@ -96,16 +98,34 @@ class PreambleGenerator:
         return self.total_length / self.ofdm_config.sample_rate_hz
 
     def base_symbol(self) -> np.ndarray:
-        """Return one un-signed preamble symbol (with cyclic prefix)."""
-        return self._modulator.modulate(
-            self._bin_values, self.ofdm_config.data_bins, add_cyclic_prefix=True
-        )
+        """Return one un-signed preamble symbol (with cyclic prefix).
+
+        The symbol is deterministic for a generator, so it is computed once
+        and returned as a cached read-only array: the detection and packet
+        loops call this per packet and must not pay a fresh OFDM modulation
+        (or an allocation) every time.
+        """
+        if self._base_symbol_cache is None:
+            symbol = self._modulator.modulate(
+                self._bin_values, self.ofdm_config.data_bins, add_cyclic_prefix=True
+            )
+            symbol.setflags(write=False)
+            self._base_symbol_cache = symbol
+        return self._base_symbol_cache
 
     def waveform(self) -> np.ndarray:
-        """Return the full preamble waveform (eight signed symbols)."""
-        base = self.base_symbol()
-        signs = self.protocol_config.pn_signs_array
-        return np.concatenate([sign * base for sign in signs])
+        """Return the full preamble waveform (eight signed symbols).
+
+        Cached and read-only, like :meth:`base_symbol`; the perf suite
+        asserts the no-per-call-allocation property.
+        """
+        if self._waveform_cache is None:
+            base = self.base_symbol()
+            signs = self.protocol_config.pn_signs_array
+            waveform = np.concatenate([sign * base for sign in signs])
+            waveform.setflags(write=False)
+            self._waveform_cache = waveform
+        return self._waveform_cache
 
 
 class PreambleDetector:
@@ -116,27 +136,35 @@ class PreambleDetector:
         self.protocol_config = generator.protocol_config
         self.ofdm_config = generator.ofdm_config
         self._template = generator.waveform()
+        # Conjugate spectrum of the template, cached for the overlap-save
+        # coarse search (shared across every packet of a session).
+        self._correlator = TemplateCorrelator(self._template)
 
     def coarse_candidates(self, received: np.ndarray, max_candidates: int = 4) -> list[tuple[int, float]]:
         """Return up to ``max_candidates`` coarse-stage candidate offsets.
 
         Each candidate is a ``(offset, metric)`` pair where the metric is the
-        normalized cross-correlation against the preamble template.
+        normalized cross-correlation against the preamble template.  Only
+        above-threshold offsets are sorted (instead of the full correlation
+        buffer); the resulting candidate list is identical to scanning all
+        offsets in descending metric order.
         """
         received = np.asarray(received, dtype=float)
         if received.size < self._template.size:
             return []
-        correlation = normalized_cross_correlation(received, self._template)
+        correlation = self._correlator.correlate(received)
         threshold = self.protocol_config.coarse_detection_threshold
-        order = np.argsort(correlation)[::-1]
+        above = np.flatnonzero(correlation >= threshold)
+        if above.size == 0:
+            return []
+        order = above[np.argsort(correlation[above])[::-1]]
         candidates: list[tuple[int, float]] = []
         min_separation = self.ofdm_config.symbol_length
         for index in order:
-            value = float(correlation[index])
-            if value < threshold or len(candidates) >= max_candidates:
+            if len(candidates) >= max_candidates:
                 break
             if all(abs(int(index) - c[0]) > min_separation for c in candidates):
-                candidates.append((int(index), value))
+                candidates.append((int(index), float(correlation[index])))
         return candidates
 
     def detect(self, received: np.ndarray) -> PreambleDetection:

@@ -22,6 +22,29 @@ from repro.core.ofdm import OFDMModulator
 
 _EPS = 1e-30
 
+#: Cache of effective transmitted reference spectra keyed by (reference
+#: values, config): the transmit chain normalizes every symbol to unit mean
+#: power, so the effective bin values are the reference values scaled by the
+#: factor modulation applied.  The scale is deterministic per configuration
+#: and the estimator runs once per packet, so recompute it only on first use.
+_REFERENCE_SPECTRUM_CACHE: dict[tuple, np.ndarray] = {}
+
+
+def _reference_spectrum(reference_bin_values: np.ndarray, config: OFDMConfig) -> np.ndarray:
+    key = (reference_bin_values.tobytes(), config)
+    cached = _REFERENCE_SPECTRUM_CACHE.get(key)
+    if cached is None:
+        modulator = OFDMModulator(config)
+        reference_symbol = modulator.modulate(
+            reference_bin_values, config.data_bins, add_cyclic_prefix=False
+        )
+        cached = np.fft.rfft(reference_symbol)[config.data_bins]
+        cached.setflags(write=False)
+        if len(_REFERENCE_SPECTRUM_CACHE) > 16:
+            _REFERENCE_SPECTRUM_CACHE.clear()
+        _REFERENCE_SPECTRUM_CACHE[key] = cached
+    return cached
+
 
 @dataclass(frozen=True)
 class ChannelEstimate:
@@ -89,16 +112,7 @@ def estimate_channel_and_snr(
         raise ValueError(
             f"expected {config.num_data_bins} reference values, got {reference_bin_values.size}"
         )
-    modulator = OFDMModulator(config)
-    # The transmit chain normalizes every symbol to unit mean power, so the
-    # effective transmitted bin values are the reference values scaled by the
-    # same factor that modulation applied.  Recompute that scale here so the
-    # channel estimate is calibrated in absolute terms.
-    reference_symbol = modulator.modulate(
-        reference_bin_values, config.data_bins, add_cyclic_prefix=False
-    )
-    reference_spectrum = np.fft.rfft(reference_symbol)
-    x = reference_spectrum[config.data_bins]
+    x = _reference_spectrum(reference_bin_values, config)
 
     num_symbols = received_symbols.shape[0]
     received_spectra = np.fft.rfft(received_symbols, axis=1)[:, config.data_bins]

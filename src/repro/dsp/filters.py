@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 from scipy import signal as sp_signal
 
+from repro.dsp.fastconv import convolve_full
 from repro.utils.validation import require_positive
 
 
@@ -114,9 +115,14 @@ class FIRBandpassFilter:
 
         Compensating the delay keeps downstream symbol timing (established
         from the preamble position) valid after filtering.
+
+        The convolution runs in the frequency domain against the cached
+        spectrum of the taps (the receive path filters every captured buffer
+        with the same filter), numerically equivalent to direct FIR
+        filtering within ~1e-13 relative.
         """
         samples = np.asarray(samples, dtype=float)
-        filtered = sp_signal.lfilter(self.taps, 1.0, np.concatenate([samples, np.zeros(self.taps.size)]))
+        filtered = convolve_full(samples, self.taps)
         if compensate_delay:
             start = self.group_delay_samples
             return filtered[start:start + samples.size]

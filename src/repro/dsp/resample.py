@@ -18,6 +18,21 @@ from repro.utils.validation import require_positive
 #: Nominal underwater sound speed used throughout the paper (m/s).
 SOUND_SPEED_WATER_M_S = 1500.0
 
+#: Read-only cached 0..n-1 ramps for the per-packet Doppler warp (the same
+#: buffer lengths recur throughout a session).
+_INDEX_RAMP_CACHE: dict[int, np.ndarray] = {}
+
+
+def _index_ramp(n: int) -> np.ndarray:
+    ramp = _INDEX_RAMP_CACHE.get(n)
+    if ramp is None:
+        if len(_INDEX_RAMP_CACHE) > 16:
+            _INDEX_RAMP_CACHE.clear()
+        ramp = np.arange(n, dtype=float)
+        ramp.setflags(write=False)
+        _INDEX_RAMP_CACHE[n] = ramp
+    return ramp
+
 
 def doppler_factor(relative_speed_m_s: float, sound_speed_m_s: float = SOUND_SPEED_WATER_M_S) -> float:
     """Return the time-scaling factor for a given closing speed.
@@ -47,8 +62,8 @@ def apply_doppler(
     require_positive(factor, "factor")
     if abs(factor - 1.0) < 1e-12:
         return samples.copy()
-    original_index = np.arange(samples.size)
-    warped_index = np.arange(samples.size) * factor
+    original_index = _index_ramp(samples.size)
+    warped_index = original_index * factor
     return np.interp(warped_index, original_index, samples, left=0.0, right=0.0)
 
 

@@ -66,8 +66,13 @@ def build_channel(
         seed=int(rng.integers(0, 2 ** 31 - 1)),
     )
     # Water currents add a small residual motion even in "static" setups.
+    # Value equality, not identity: scenarios cross process boundaries
+    # pickled (ExperimentRunner workers), and an unpickled STATIC_MOTION is
+    # an equal-but-distinct object -- an ``is`` check here silently dropped
+    # the currents substitution in pool workers, making parallel sweeps
+    # differ from serial ones.
     effective_motion = motion
-    if motion is STATIC_MOTION and site.current_speed_m_s > 0.05:
+    if motion == STATIC_MOTION and site.current_speed_m_s > 0.05:
         effective_motion = MotionModel(
             name=f"{site.name} currents",
             acceleration_m_s2=site.current_speed_m_s,

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 from repro.environments.sites import SITE_CATALOG
 from repro.experiments.scenario import content_hash
-from repro.net.links import CalibratedLink, LinkModel, PhysicalLink
+from repro.net.links import CalibratedLink, LinkModel, PhysicalLink, calibrate_from_phy
 from repro.net.routing import ROUTING_CATALOG, build_routing
 from repro.net.simulator import NetworkResult, NetworkSimulator
 from repro.net.topology import AcousticNetTopology
@@ -86,6 +86,15 @@ class NetScenario:
         Hop budget per packet copy.
     seed:
         Master seed; identical scenarios replay identically.
+    calibration_packets_per_point:
+        When set (and ``link="calibrated"``), the PER/bitrate table is
+        measured freshly from the PHY with this many packets per distance
+        instead of replaying the baked lake table -- the interactive
+        rebuild the frequency-domain fast path makes affordable.
+    calibration_progress:
+        Emit per-distance progress/ETA lines on stderr while measuring
+        the calibration table.  Off by default so library users (and
+        parallel sweep workers) stay quiet; the CLI turns it on.
     label:
         Free-form tag for reports.
     """
@@ -108,6 +117,8 @@ class NetScenario:
     destination: str | None = None
     ttl: int = 8
     seed: int = 0
+    calibration_packets_per_point: int | None = None
+    calibration_progress: bool = False
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -149,6 +160,15 @@ class NetScenario:
                     f"destination {self.destination!r} is not one of the "
                     f"{self.num_nodes} generated nodes (n0..n{self.num_nodes - 1})"
                 )
+        if self.calibration_packets_per_point is not None:
+            if self.calibration_packets_per_point < 1:
+                raise ValueError("calibration_packets_per_point must be at least 1")
+            if self.link != "calibrated":
+                raise ValueError(
+                    "calibration_packets_per_point only applies to "
+                    "link='calibrated' (the physical link runs the full PHY "
+                    "per packet and needs no table)"
+                )
 
     # ------------------------------------------------------------- components
     def build_topology(self) -> AcousticNetTopology:
@@ -179,6 +199,14 @@ class NetScenario:
         """Construct the configured per-hop link model."""
         if self.link == "physical":
             return PhysicalLink(site=SITE_CATALOG[self.site], seed=self.seed + 77)
+        if self.calibration_packets_per_point is not None:
+            calibration = calibrate_from_phy(
+                site=self.site,
+                packets_per_point=self.calibration_packets_per_point,
+                seed=self.seed + 177,
+                progress=self.calibration_progress,
+            )
+            return CalibratedLink(calibration)
         return CalibratedLink()
 
     def build_traffic(self) -> TrafficGenerator:

@@ -362,7 +362,7 @@ class Scenario:
 
     def run(self) -> LinkStatistics:
         """Run the scenario in this process and return its statistics."""
-        return self.build_session().run_many(self.num_packets)
+        return self.build_session().run_packets(self.num_packets)
 
 
 def run_scenario(scenario: Scenario) -> LinkStatistics:

@@ -257,6 +257,13 @@ class LinkSession:
         self.randomize_every = max(0, int(randomize_every))
         self._rng = ensure_rng(seed)
         self._packet_counter = 0
+        # Per-session packet-pipeline state reused across packets: the
+        # preamble+header waveform and the silence gap are deterministic for
+        # a session, so :meth:`run_packets` builds them once.  (The channel
+        # transfer-function and preamble template spectra live in the shared
+        # caches of repro.dsp.fastconv / TemplateCorrelator.)
+        self._header_cache = None
+        self._silence_cache: np.ndarray | None = None
         if isinstance(scheme, str) and scheme != "adaptive":
             raise ValueError("scheme must be 'adaptive' or a FixedBandScheme")
 
@@ -276,6 +283,23 @@ class LinkSession:
         rng = rng or self._rng
         return rng.integers(0, 2, size=self.payload_bits)
 
+    # ----------------------------------------------------------- cached state
+    def _header(self):
+        """The preamble + receiver-ID header waveform, built once."""
+        if self._header_cache is None:
+            self._header_cache = self.modem.build_preamble_and_header(self.receiver_id)
+        return self._header_cache
+
+    def _silence(self) -> np.ndarray:
+        """The inter-burst silence gap, built once."""
+        if self._silence_cache is None:
+            silence = np.zeros(
+                self.silence_symbols * self.modem.ofdm_config.extended_symbol_length
+            )
+            silence.setflags(write=False)
+            self._silence_cache = silence
+        return self._silence_cache
+
     # ---------------------------------------------------------------- running
     def run_packet(
         self,
@@ -292,7 +316,7 @@ class LinkSession:
 
         modem = self.modem
         config = modem.ofdm_config
-        header = modem.build_preamble_and_header(self.receiver_id)
+        header = self._header()
 
         # ---------------------------------------------------------- phase 1+2
         receiver_band, feedback_ok, feedback_exact, transmitter_band, min_band_snr = (
@@ -312,7 +336,7 @@ class LinkSession:
 
         # ------------------------------------------------------------ phase 3
         packet = modem.encode_data(payload, transmitter_band)
-        silence = np.zeros(self.silence_symbols * config.extended_symbol_length)
+        silence = self._silence()
         full_waveform = np.concatenate([header.waveform, silence, packet.waveform])
         forward = self.forward_channel.transmit(full_waveform, rng)
         received = modem.filter_received(forward.samples)
@@ -432,12 +456,26 @@ class LinkSession:
             detection_metric=detection_metric,
         )
 
-    def run_many(
+    def run_packets(
         self,
         num_packets: int,
         rng: int | np.random.Generator | None = None,
     ) -> LinkStatistics:
-        """Run ``num_packets`` exchanges and return the aggregate statistics."""
+        """Run ``num_packets`` exchanges through the batched packet pipeline.
+
+        The per-session state every packet needs -- the preamble+header
+        waveform, the silence gap, the preamble template's conjugate
+        spectrum, the channel transfer-function spectra and the modem's
+        batched FEC/OFDM paths -- is derived once and reused across the
+        whole batch rather than per packet.  Results are identical to
+        calling :meth:`run_packet` ``num_packets`` times with the same
+        generator (the protocol itself is sequential: each packet's channel
+        state depends on the previous one).
+
+        This is the entry point the experiment runner,
+        :class:`repro.net.links.PhysicalLink` calibration and the benchmark
+        suites drive.
+        """
         if num_packets <= 0:
             raise ValueError("num_packets must be positive")
         rng = ensure_rng(rng if rng is not None else self._rng)
@@ -445,6 +483,17 @@ class LinkSession:
         for _ in range(num_packets):
             stats.add(self.run_packet(rng=rng))
         return stats
+
+    def run_many(
+        self,
+        num_packets: int,
+        rng: int | np.random.Generator | None = None,
+    ) -> LinkStatistics:
+        """Run ``num_packets`` exchanges and return the aggregate statistics.
+
+        Alias of :meth:`run_packets`, kept for backward compatibility.
+        """
+        return self.run_packets(num_packets, rng=rng)
 
     # --------------------------------------------------------------- probing
     def probe_channel_stability(

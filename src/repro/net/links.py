@@ -20,8 +20,11 @@ tier-1 tests.
 
 from __future__ import annotations
 
+import sys
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -160,13 +163,22 @@ def calibrate_from_phy(
     distances_m: tuple[float, ...] = (2.0, 5.0, 10.0, 15.0, 20.0, 25.0),
     packets_per_point: int = 12,
     seed: int = 0,
+    progress: bool | Callable[[str], None] = False,
 ) -> LinkCalibration:
     """Measure a :class:`LinkCalibration` by running the full PHY.
 
     For each distance a fresh channel pair and
     :class:`~repro.link.session.LinkSession` (seeds derived from ``seed``)
-    runs ``packets_per_point`` adaptive exchanges; the observed packet
-    error rate and median selected bitrate become one table row.
+    runs ``packets_per_point`` adaptive exchanges through the batched
+    packet pipeline (:meth:`~repro.link.session.LinkSession.run_packets`);
+    the observed packet error rate and median selected bitrate become one
+    table row.
+
+    ``progress`` enables per-distance progress/ETA lines (``True`` prints
+    to stderr; a callable receives each line), which makes interactive
+    table rebuilds via ``python -m repro.cli net --packets-per-point N``
+    followable now that the frequency-domain fast path has made them
+    quick.
     """
     from repro.environments.factory import build_link_pair
     from repro.link.session import LinkSession
@@ -175,6 +187,13 @@ def calibrate_from_phy(
         site = SITE_CATALOG[site]
     if packets_per_point < 1:
         raise ValueError("packets_per_point must be at least 1")
+    if progress is True:
+        emit: Callable[[str], None] | None = lambda line: print(line, file=sys.stderr)
+    elif callable(progress):
+        emit = progress
+    else:
+        emit = None
+    started = time.perf_counter()
     pers: list[float] = []
     bitrates: list[float] = []
     last_bitrate = LinkModel.nominal_bitrate_bps
@@ -183,7 +202,7 @@ def calibrate_from_phy(
             site=site, distance_m=distance, seed=seed + 101 * index
         )
         session = LinkSession(forward, backward, seed=seed + 101 * index + 1)
-        stats = session.run_many(packets_per_point)
+        stats = session.run_packets(packets_per_point)
         pers.append(float(stats.packet_error_rate))
         bitrate = stats.median_bitrate_bps
         # All-failure rows have no selected band; reuse the previous row's
@@ -191,6 +210,15 @@ def calibrate_from_phy(
         if np.isfinite(bitrate):
             last_bitrate = float(bitrate)
         bitrates.append(last_bitrate)
+        if emit is not None:
+            done = index + 1
+            elapsed = time.perf_counter() - started
+            eta = elapsed / done * (len(distances_m) - done)
+            emit(
+                f"calibrate[{site.name}] {distance:g} m: PER {pers[-1]:.1%}, "
+                f"{last_bitrate:.0f} bps ({done}/{len(distances_m)}, "
+                f"{elapsed:.1f}s elapsed, eta {eta:.1f}s)"
+            )
     return LinkCalibration(
         site_name=site.name,
         distances_m=tuple(float(d) for d in distances_m),
@@ -247,7 +275,11 @@ class PhysicalLink(LinkModel):
     """Link model that runs the full PHY protocol exchange per packet.
 
     Sessions are cached per quantized distance so a static topology pays
-    channel construction once per hop, not once per packet.
+    channel construction once per hop, not once per packet -- and because
+    the per-session packet-pipeline state (preamble header, template
+    spectra, channel transfer functions) lives on the cached
+    :class:`~repro.link.session.LinkSession`, every delivery after the
+    first at a given distance rides the batched fast path.
     """
 
     name = "physical"

@@ -3,23 +3,24 @@
 Everything time-ordered in the network simulator -- transmissions
 completing, packets arriving after their propagation delay, ARQ timers
 firing, traffic sources emitting messages, mobility steps -- is an
-:class:`Event` on one :class:`Scheduler`.  The scheduler is a plain heap
-of ``(time, sequence, event)`` entries: ties are broken by insertion
-order, so runs are fully deterministic, and cancellation is *lazy* (a
-cancelled event stays in the heap but is skipped when popped), which
-keeps :meth:`Scheduler.cancel` O(1) -- ARQ timers are rescheduled far
-more often than they fire.
+:class:`Event` on one :class:`Scheduler`.  The heap holds plain
+``(time, sequence, event)`` tuples (native tuple comparison is what makes
+pushing and popping tens of thousands of events cheap; an orderable
+dataclass pays a generated ``__lt__`` per comparison), ties are broken by
+insertion order so runs are fully deterministic, and cancellation is
+*lazy* (a cancelled event stays in the heap but is skipped when popped),
+which keeps :meth:`Scheduler.cancel` O(1) -- ARQ timers are rescheduled
+far more often than they fire.  A skip-cancel counter tracks how many
+cancelled entries remain queued so :attr:`Scheduler.num_pending` is O(1)
+instead of a heap scan.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Callable
 
 
-@dataclass(order=True)
 class Event:
     """One scheduled action.
 
@@ -35,20 +36,29 @@ class Event:
         Lazily-cancelled events are skipped when they reach the heap top.
     """
 
-    time_s: float
-    sequence: int
-    action: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time_s", "sequence", "action", "cancelled", "_done")
+
+    def __init__(self, time_s: float, sequence: int, action: Callable[[], None]) -> None:
+        self.time_s = time_s
+        self.sequence = sequence
+        self.action = action
+        self.cancelled = False
+        self._done = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "cancelled" if self.cancelled else ("done" if self._done else "pending")
+        return f"Event(time_s={self.time_s}, sequence={self.sequence}, {state})"
 
 
 class Scheduler:
     """Time-ordered event queue driving one simulation run."""
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._counter = itertools.count()
+        self._heap: list[tuple[float, int, Event]] = []
+        self._sequence = 0
         self._now_s = 0.0
         self._num_processed = 0
+        self._num_cancelled_pending = 0
 
     # ------------------------------------------------------------- properties
     @property
@@ -64,7 +74,7 @@ class Scheduler:
     @property
     def num_pending(self) -> int:
         """Events still queued (cancelled ones excluded)."""
-        return sum(not event.cancelled for event in self._heap)
+        return len(self._heap) - self._num_cancelled_pending
 
     # ------------------------------------------------------------- scheduling
     def at(self, time_s: float, action: Callable[[], None]) -> Event:
@@ -75,8 +85,10 @@ class Scheduler:
                 f"cannot schedule at {time_s} s: simulation time is already "
                 f"{self._now_s} s"
             )
-        event = Event(time_s=time_s, sequence=next(self._counter), action=action)
-        heapq.heappush(self._heap, event)
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        event = Event(time_s, sequence, action)
+        heapq.heappush(self._heap, (time_s, sequence, event))
         return event
 
     def after(self, delay_s: float, action: Callable[[], None]) -> Event:
@@ -87,20 +99,31 @@ class Scheduler:
 
     def cancel(self, event: Event) -> None:
         """Cancel a pending event (no-op if it already ran)."""
+        if event.cancelled or event._done:
+            return
         event.cancelled = True
+        self._num_cancelled_pending += 1
 
     # ---------------------------------------------------------------- running
+    def _discard_cancelled_top(self) -> None:
+        """Drop lazily-cancelled entries from the heap top."""
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            _, _, event = heapq.heappop(heap)
+            event._done = True
+            self._num_cancelled_pending -= 1
+
     def step(self) -> bool:
         """Run the next pending event; return ``False`` when none remain."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self._now_s = event.time_s
-            self._num_processed += 1
-            event.action()
-            return True
-        return False
+        self._discard_cancelled_top()
+        if not self._heap:
+            return False
+        time_s, _, event = heapq.heappop(self._heap)
+        event._done = True
+        self._now_s = time_s
+        self._num_processed += 1
+        event.action()
+        return True
 
     def run(self, until_s: float | None = None, max_events: int | None = None) -> int:
         """Process events in time order.
@@ -123,11 +146,10 @@ class Scheduler:
             if max_events is not None and processed >= max_events:
                 break
             # Peek past lazily-cancelled entries to find the real next event.
-            while self._heap and self._heap[0].cancelled:
-                heapq.heappop(self._heap)
+            self._discard_cancelled_top()
             if not self._heap:
                 break
-            if until_s is not None and self._heap[0].time_s > until_s:
+            if until_s is not None and self._heap[0][0] > until_s:
                 self._now_s = max(self._now_s, float(until_s))
                 break
             if self.step():

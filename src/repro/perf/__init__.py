@@ -15,6 +15,7 @@ from repro.perf.harness import (
     bench_json_path,
     compare_results,
     format_comparison,
+    gate_comparison,
     format_results,
     load_results,
     write_results,
@@ -36,6 +37,7 @@ __all__ = [
     "build_suite",
     "compare_results",
     "format_comparison",
+    "gate_comparison",
     "format_results",
     "load_results",
     "run_suite",

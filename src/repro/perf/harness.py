@@ -265,6 +265,25 @@ def compare_results(
     return rows
 
 
+def gate_comparison(
+    rows: list[ComparisonRow], fail_above_pct: float
+) -> list[ComparisonRow]:
+    """Return the rows regressing beyond ``fail_above_pct`` percent.
+
+    The regression gate for CI: comparing a fresh run against the committed
+    ``BENCH_*.json`` baselines, any benchmark whose median wall time grew by
+    more than the threshold is a failure.  Negative changes (speedups) and
+    benchmarks missing from the baseline never fail.
+    """
+    if fail_above_pct < 0:
+        raise ValueError("fail_above_pct must be non-negative")
+    return [
+        row
+        for row in rows
+        if math.isfinite(row.percent_change) and row.percent_change > fail_above_pct
+    ]
+
+
 def format_comparison(rows: list[ComparisonRow], suite: str = "") -> str:
     """Render comparison rows as an aligned percent-change table."""
     if not rows:

@@ -1,6 +1,6 @@
 """Benchmark suites over the reproduction's hot paths.
 
-Six suites cover the layers every figure reproduction funnels through:
+Seven suites cover the layers every figure reproduction funnels through:
 
 ``fec``
     Viterbi decoding (vectorized and the retained loop reference, so the
@@ -9,11 +9,19 @@ Six suites cover the layers every figure reproduction funnels through:
 ``ofdm``
     OFDM symbol modulation and demodulation, single and batched.
 ``preamble``
-    Two-stage preamble detection over a noisy capture.
+    Two-stage preamble detection over a noisy capture: the FFT fast path
+    (cached conjugate template spectrum + vectorized fine refinement) and
+    the retained per-offset reference so the speedup stays measured.
 ``channel``
-    The underwater channel convolution (multipath + device chain + noise).
+    The underwater channel propagation, both the frequency-domain fast
+    path (cached transfer functions) and the retained ``fftconvolve``
+    reference path.
+``equalizer``
+    MMSE equalizer fitting: Levinson fast path, the dense O(n^3)
+    reference solve, and the batched ``fit_apply_many`` pipeline.
 ``link``
-    End-to-end :class:`~repro.link.session.LinkSession` protocol exchanges.
+    End-to-end :class:`~repro.link.session.LinkSession` protocol
+    exchanges, single-packet and through ``run_packets``.
 ``net``
     The multi-hop network simulator: raw scheduler churn plus complete
     50-node greedy-routing and 12-node flooding scenarios.
@@ -132,14 +140,38 @@ def ofdm_suite(quick: bool = False) -> list[Benchmark]:
 def preamble_suite(quick: bool = False) -> list[Benchmark]:
     """Two-stage preamble detection over a noisy capture."""
     from repro.core.preamble import PreambleDetector, PreambleGenerator
+    from repro.dsp.correlation import (
+        normalized_cross_correlation,
+        sliding_correlation_curve_reference,
+    )
 
     generator = PreambleGenerator()
     detector = PreambleDetector(generator)
-    rng = np.random.default_rng(11)
+    # The generator memoizes its waveforms: detection loops must not pay a
+    # fresh OFDM modulation (or even an allocation) per packet.
     template = generator.waveform()
+    assert generator.waveform() is template, (
+        "PreambleGenerator.waveform must return the cached array"
+    )
+    assert generator.base_symbol() is generator.base_symbol(), (
+        "PreambleGenerator.base_symbol must return the cached array"
+    )
+    rng = np.random.default_rng(11)
     offset = 1500
     capture = rng.normal(0.0, 0.05, template.size * 3)
     capture[offset:offset + template.size] += template
+
+    def detect_reference() -> None:
+        """Seed detection pipeline: fresh template FFT + per-offset loop."""
+        correlation = normalized_cross_correlation(capture, template)
+        peak = int(np.argmax(correlation))
+        half = detector.ofdm_config.symbol_length // 2
+        sliding_correlation_curve_reference(
+            capture, peak - half, peak + half,
+            generator.symbol_length,
+            detector.protocol_config.pn_signs_array,
+            step=detector.protocol_config.sliding_correlation_step,
+        )
 
     return [
         Benchmark(
@@ -148,7 +180,15 @@ def preamble_suite(quick: bool = False) -> list[Benchmark]:
             items_per_call=capture.size,
             unit="samples",
             repeats=_repeats(quick, 10, 2),
-            metadata={"capture_samples": int(capture.size)},
+            metadata={"capture_samples": int(capture.size), "implementation": "fft fast path"},
+        ),
+        Benchmark(
+            name="detect_preamble_reference",
+            func=detect_reference,
+            items_per_call=capture.size,
+            unit="samples",
+            repeats=_repeats(quick, 5, 1),
+            metadata={"capture_samples": int(capture.size), "implementation": "loop reference"},
         ),
         Benchmark(
             name="extract_preamble_symbols",
@@ -162,25 +202,34 @@ def preamble_suite(quick: bool = False) -> list[Benchmark]:
 
 
 def channel_suite(quick: bool = False) -> list[Benchmark]:
-    """Underwater channel convolution of a preamble-sized waveform."""
+    """Underwater channel propagation of a preamble-sized waveform."""
     from repro.core.preamble import PreambleGenerator
     from repro.environments.factory import build_channel
     from repro.environments.sites import SITE_CATALOG
 
     channel = build_channel(site=SITE_CATALOG["lake"], distance_m=10.0, seed=3)
+    reference = build_channel(site=SITE_CATALOG["lake"], distance_m=10.0, seed=3)
+    reference.use_fast_path = False
     waveform = PreambleGenerator().waveform()
-
-    def transmit() -> None:
-        channel.transmit(waveform, rng=np.random.default_rng(5))
 
     return [
         Benchmark(
             name="channel_transmit_preamble",
-            func=transmit,
+            func=lambda: channel.transmit(waveform, rng=np.random.default_rng(5)),
             items_per_call=waveform.size,
             unit="samples",
             repeats=_repeats(quick, 10, 2),
-            metadata={"site": "lake", "distance_m": 10.0, "samples": int(waveform.size)},
+            metadata={"site": "lake", "distance_m": 10.0, "samples": int(waveform.size),
+                      "implementation": "frequency-domain fast path"},
+        ),
+        Benchmark(
+            name="channel_transmit_reference",
+            func=lambda: reference.transmit(waveform, rng=np.random.default_rng(5)),
+            items_per_call=waveform.size,
+            unit="samples",
+            repeats=_repeats(quick, 5, 1),
+            metadata={"site": "lake", "distance_m": 10.0, "samples": int(waveform.size),
+                      "implementation": "fftconvolve reference"},
         ),
     ]
 
@@ -195,18 +244,67 @@ def link_suite(quick: bool = False) -> list[Benchmark]:
         site=SITE_CATALOG["lake"], distance_m=5.0, seed=17
     )
     session = LinkSession(forward, backward, seed=18)
-
-    def run_packet() -> None:
-        session.run_packet(rng=np.random.default_rng(19))
+    batch_session = LinkSession(*build_link_pair(
+        site=SITE_CATALOG["lake"], distance_m=5.0, seed=17
+    ), seed=18)
 
     return [
         Benchmark(
             name="link_session_packet",
-            func=run_packet,
+            func=lambda: session.run_packet(rng=np.random.default_rng(19)),
             items_per_call=1,
             unit="packets",
             repeats=_repeats(quick, 10, 2),
             metadata={"site": "lake", "distance_m": 5.0, "scheme": "adaptive"},
+        ),
+        Benchmark(
+            name="link_session_packets_batch",
+            func=lambda: batch_session.run_packets(8, rng=np.random.default_rng(19)),
+            items_per_call=8,
+            unit="packets",
+            repeats=_repeats(quick, 5, 1),
+            metadata={"site": "lake", "distance_m": 5.0, "scheme": "adaptive",
+                      "packets_per_call": 8},
+        ),
+    ]
+
+
+def equalizer_suite(quick: bool = False) -> list[Benchmark]:
+    """MMSE equalizer fitting: Levinson fast path vs dense reference."""
+    from repro.core.equalizer import MMSEEqualizer
+
+    rng = np.random.default_rng(23)
+    training = rng.normal(size=1027)
+    reference = rng.normal(size=1027)
+    bursts = [rng.normal(size=4135) for _ in range(8)]
+    levinson = MMSEEqualizer(num_taps=480)
+    dense = MMSEEqualizer(num_taps=480, solver="dense")
+    batch = MMSEEqualizer(num_taps=480)
+
+    return [
+        Benchmark(
+            name="equalizer_fit_480",
+            func=lambda: levinson.fit(training, reference),
+            items_per_call=480,
+            unit="taps",
+            repeats=_repeats(quick, 20, 3),
+            metadata={"taps": 480, "training_samples": 1027, "solver": "levinson"},
+        ),
+        Benchmark(
+            name="equalizer_fit_480_dense_reference",
+            func=lambda: dense.fit(training, reference),
+            items_per_call=480,
+            unit="taps",
+            repeats=_repeats(quick, 5, 1),
+            metadata={"taps": 480, "training_samples": 1027, "solver": "dense"},
+        ),
+        Benchmark(
+            name="equalizer_fit_apply_many_8",
+            func=lambda: batch.fit_apply_many(bursts, slice(0, 1027), reference),
+            items_per_call=8,
+            unit="bursts",
+            repeats=_repeats(quick, 10, 2),
+            metadata={"taps": 480, "bursts": 8, "burst_samples": 4135},
         ),
     ]
 
@@ -269,6 +367,7 @@ SUITE_BUILDERS = {
     "ofdm": ofdm_suite,
     "preamble": preamble_suite,
     "channel": channel_suite,
+    "equalizer": equalizer_suite,
     "link": link_suite,
     "net": net_suite,
 }

@@ -147,3 +147,49 @@ def test_bench_command_rejects_malformed_baseline(capsys, tmp_path):
                  "--compare", str(bad)])
     assert code == 2
     assert "cannot read baseline" in capsys.readouterr().err
+
+
+def test_bench_fail_above_requires_compare(capsys):
+    code = main(["bench", "--suite", "ofdm", "--quick", "--fail-above", "10"])
+    assert code == 2
+    assert "--fail-above requires --compare" in capsys.readouterr().err
+
+
+def test_bench_fail_above_passes_when_within_threshold(capsys, tmp_path):
+    assert main(["bench", "--suite", "ofdm", "--quick", "--json", str(tmp_path)]) == 0
+    capsys.readouterr()
+    code = main(["bench", "--suite", "ofdm", "--quick", "--json", str(tmp_path),
+                 "--compare", str(tmp_path / "BENCH_ofdm.json"),
+                 "--fail-above", "100000"])
+    assert code == 0
+    assert "perf gate passed" in capsys.readouterr().out
+
+
+def test_bench_fail_above_fails_on_regression(capsys, tmp_path):
+    import json
+
+    assert main(["bench", "--suite", "ofdm", "--quick", "--json", str(tmp_path)]) == 0
+    capsys.readouterr()
+    # Rewrite the baseline with implausibly fast medians so the fresh run
+    # must regress beyond any threshold.
+    path = tmp_path / "BENCH_ofdm.json"
+    data = json.loads(path.read_text())
+    for entry in data["results"]:
+        entry["times_s"] = [1e-9] * len(entry["times_s"])
+    path.write_text(json.dumps(data))
+    code = main(["bench", "--suite", "ofdm", "--quick", "--json", str(tmp_path),
+                 "--compare", str(path), "--fail-above", "50"])
+    assert code == 1
+    assert "PERF GATE FAILED" in capsys.readouterr().err
+
+
+def test_net_command_packets_per_point_rebuilds_table(capsys):
+    code = main(["net", "--nodes", "4", "--topology", "line", "--spacing", "6",
+                 "--range", "8", "--routing", "flooding", "--arq", "none",
+                 "--traffic", "cbr", "--rate", "0.05", "--duration", "20",
+                 "--destination", "n3", "--seed", "1",
+                 "--packets-per-point", "1"])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "calibrate[lake]" in captured.err
+    assert "eta" in captured.err

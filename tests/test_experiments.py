@@ -345,3 +345,17 @@ def test_record_derived_metrics():
         percentiles = record.bitrate_percentiles((10, 50, 90))
         assert percentiles.shape == (3,)
         assert np.all(np.diff(percentiles) >= 0)
+
+
+def test_scenario_results_survive_pickling():
+    """A pickled scenario (what pool workers receive) must simulate
+    identically to the original -- catalog substitutions that relied on
+    object identity used to break this for sites with currents."""
+    import pickle
+
+    from repro.experiments.scenario import run_scenario
+
+    scenario = Scenario(site="lake", distance_m=5.0, num_packets=2, seed=1)
+    direct = run_scenario(scenario).results
+    pickled = run_scenario(pickle.loads(pickle.dumps(scenario))).results
+    assert direct == pickled

@@ -1,0 +1,336 @@
+"""Golden equivalence tests pinning the fast paths to their references.
+
+Mirrors the pattern of tests/test_fec_golden.py: every frequency-domain /
+vectorized fast path introduced by the link-layer optimization PR is
+compared against the retained reference implementation on randomized
+inputs, with the tolerance of each comparison documented at the assert.
+
+Tolerances, and why they are what they are:
+
+* channel fast path vs ``fftconvolve`` reference: **bit-identical** today
+  (both run pocketfft at the same padded sizes); asserted at 1e-9 relative
+  so a future FFT backend with different rounding does not break the test
+  spuriously.
+* overlap-save coarse correlation vs :func:`normalized_cross_correlation`:
+  1e-9 absolute (different FFT block sizes reassociate rounding; metric
+  values are O(1)).
+* vectorized sliding correlation vs the per-offset loop: 1e-9 absolute
+  (cumulative sums reassociate the additions).
+* Levinson equalizer taps vs the dense O(n^3) solve: 1e-6 relative on the
+  taps (the two solvers accumulate error differently through a
+  480-unknown system; the diagonally-loaded matrices keep both well
+  conditioned).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import signal as sp_signal
+
+from repro.channel.motion import MOTION_PRESETS
+from repro.core.equalizer import MMSEEqualizer
+from repro.dsp.correlation import (
+    TemplateCorrelator,
+    normalized_cross_correlation,
+    sliding_correlation_curve,
+    sliding_correlation_curve_reference,
+)
+from repro.dsp.fastconv import (
+    SpectrumCache,
+    convolve_cascade,
+    convolve_full,
+    convolve_shared,
+    next_fast_len,
+)
+from repro.dsp.levinson import levinson_solve, solve_symmetric_toeplitz
+from repro.environments.factory import build_channel
+from repro.environments.sites import SITE_CATALOG
+
+
+# --------------------------------------------------------------------- fastconv
+def test_convolve_full_matches_fftconvolve():
+    rng = np.random.default_rng(0)
+    cache = SpectrumCache()
+    for n, m in ((64, 5), (1000, 257), (9243, 961)):
+        x = rng.normal(size=n)
+        kernel = rng.normal(size=m)
+        fast = convolve_full(x, kernel, cache=cache)
+        reference = sp_signal.fftconvolve(x, kernel)
+        # Same algorithm and padding; differences can only come from FFT
+        # rounding reassociation -> 1e-12 relative of the peak.
+        scale = np.max(np.abs(reference))
+        assert np.allclose(fast, reference, atol=1e-12 * scale, rtol=0)
+
+
+def test_convolve_cascade_matches_two_fftconvolves():
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=5000)
+    first = rng.normal(size=700)
+    second = rng.normal(size=257)
+    fast = convolve_cascade(x, first, second)
+    reference = sp_signal.fftconvolve(sp_signal.fftconvolve(x, first), second)
+    scale = np.max(np.abs(reference))
+    # One combined multiply vs two sequential convolutions at different FFT
+    # sizes: 1e-11 relative of the peak.
+    assert fast.size == reference.size
+    assert np.allclose(fast, reference, atol=1e-11 * scale, rtol=0)
+
+
+def test_convolve_shared_matches_individual_convolutions():
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=4000)
+    kernels = (rng.normal(size=300), rng.normal(size=450))
+    shared = convolve_shared(x, kernels)
+    for result, kernel in zip(shared, kernels):
+        reference = sp_signal.fftconvolve(x, kernel)
+        scale = np.max(np.abs(reference))
+        assert result.size == reference.size
+        assert np.allclose(result, reference, atol=1e-12 * scale, rtol=0)
+
+
+def test_spectrum_cache_hits_on_equal_content():
+    cache = SpectrumCache(max_entries=4)
+    kernel = np.arange(32.0)
+    first = cache.spectrum(kernel, 64)
+    second = cache.spectrum(kernel.copy(), 64)  # equal content, new array
+    assert cache.hits == 1 and cache.misses == 1
+    assert first is second
+    cache.spectrum(kernel, 128)  # different FFT size -> new entry
+    assert cache.misses == 2
+
+
+# ---------------------------------------------------------------- channel path
+@pytest.mark.parametrize("motion", ["static", "slow", "fast"])
+def test_channel_fast_path_matches_reference(motion):
+    """Frequency-domain transmit vs the seed fftconvolve pipeline.
+
+    ``include_noise=False`` isolates the deterministic propagation (the
+    noise realization is random by contract and pinned statistically in
+    test_channel_noise.py).  Both paths must also evolve the channel drift
+    state identically, which the second transmit checks.
+    """
+    fast = build_channel(site=SITE_CATALOG["lake"], distance_m=10.0, seed=3,
+                         motion=MOTION_PRESETS[motion])
+    reference = build_channel(site=SITE_CATALOG["lake"], distance_m=10.0, seed=3,
+                              motion=MOTION_PRESETS[motion])
+    reference.use_fast_path = False
+    waveform = np.sin(2 * np.pi * 2000.0 * np.arange(12000) / 48000.0)
+    for trial in range(3):
+        out_fast = fast.transmit(waveform, rng=np.random.default_rng(40 + trial),
+                                 include_noise=False)
+        out_ref = reference.transmit(waveform, rng=np.random.default_rng(40 + trial),
+                                     include_noise=False)
+        scale = np.max(np.abs(out_ref.samples))
+        assert out_fast.samples.size == out_ref.samples.size
+        # documented tolerance: 1e-9 relative of the received peak
+        assert np.allclose(out_fast.samples, out_ref.samples,
+                           atol=1e-9 * scale, rtol=0)
+        assert out_fast.doppler == out_ref.doppler
+
+
+def test_channel_fast_path_matches_reference_with_noise():
+    """With noise the two paths share the same rng stream and stay close."""
+    fast = build_channel(site=SITE_CATALOG["lake"], distance_m=5.0, seed=9)
+    reference = build_channel(site=SITE_CATALOG["lake"], distance_m=5.0, seed=9)
+    reference.use_fast_path = False
+    waveform = np.sin(2 * np.pi * 1500.0 * np.arange(9000) / 48000.0)
+    out_fast = fast.transmit(waveform, rng=np.random.default_rng(77))
+    out_ref = reference.transmit(waveform, rng=np.random.default_rng(77))
+    scale = np.max(np.abs(out_ref.samples))
+    assert np.allclose(out_fast.samples, out_ref.samples, atol=1e-9 * scale, rtol=0)
+
+
+# -------------------------------------------------------------- preamble search
+def test_template_correlator_matches_reference():
+    rng = np.random.default_rng(4)
+    for n, m in ((900, 300), (5000, 800), (30000, 8216)):
+        received = rng.normal(size=n)
+        template = rng.normal(size=m)
+        fast = TemplateCorrelator(template).correlate(received)
+        reference = normalized_cross_correlation(received, template)
+        assert fast.size == reference.size
+        # documented tolerance: 1e-9 absolute on a metric bounded by 1
+        assert np.allclose(fast, reference, atol=1e-9, rtol=0)
+
+
+def test_template_correlator_multi_block_path():
+    """Buffers beyond the single-shot limit stream through overlap-save."""
+    rng = np.random.default_rng(5)
+    template = rng.normal(size=500)
+    received = rng.normal(size=12000)  # > 4x template -> block streaming
+    correlator = TemplateCorrelator(template, block_size=1000)
+    fast = correlator.correlate(received)
+    reference = normalized_cross_correlation(received, template)
+    assert np.allclose(fast, reference, atol=1e-9, rtol=0)
+
+
+def test_sliding_correlation_curve_matches_reference():
+    rng = np.random.default_rng(6)
+    signs = np.array([-1, 1, 1, 1, 1, 1, -1, 1], dtype=float)
+    received = rng.normal(size=12000)
+    # Also embed a real preamble-like structure so the metric exercises
+    # values near 1, not just noise.
+    segment = rng.normal(size=1027)
+    received[2000:2000 + 8 * 1027] = np.concatenate([s * segment for s in signs])
+    for start, stop, step in ((0, 3000, 8), (1500, 2500, 1), (11000, 12000, 8)):
+        offsets_fast, metric_fast = sliding_correlation_curve(
+            received, start, stop, 1027, signs, step=step
+        )
+        offsets_ref, metric_ref = sliding_correlation_curve_reference(
+            received, start, stop, 1027, signs, step=step
+        )
+        assert np.array_equal(offsets_fast, offsets_ref)
+        # documented tolerance: 1e-9 absolute on the normalized metric
+        assert np.allclose(metric_fast, metric_ref, atol=1e-9, rtol=0)
+
+
+def test_sliding_correlation_curve_empty_range():
+    offsets, metric = sliding_correlation_curve(np.zeros(100), 90, 10, 50, np.ones(8))
+    assert offsets.size == 0 and metric.size == 0
+
+
+def test_preamble_detector_fast_path_finds_same_offset():
+    from repro.core.preamble import PreambleDetector, PreambleGenerator
+
+    generator = PreambleGenerator()
+    detector = PreambleDetector(generator)
+    rng = np.random.default_rng(11)
+    template = generator.waveform()
+    capture = rng.normal(0.0, 0.05, template.size * 3)
+    capture[1500:1500 + template.size] += template
+    detection = detector.detect(capture)
+    assert detection.detected
+    assert detection.start_index == 1500
+
+
+# ------------------------------------------------------------------- equalizer
+def test_levinson_recursion_matches_dense_solve():
+    rng = np.random.default_rng(7)
+    for n in (1, 2, 3, 16, 128, 480):
+        y = rng.normal(size=max(4 * n, 8))
+        r = np.correlate(y, y, "full")[y.size - 1:y.size - 1 + n] / y.size
+        r[0] *= 1.001  # diagonal loading keeps the system well conditioned
+        b = rng.normal(size=n)
+        indices = np.arange(n)
+        dense = np.linalg.solve(r[np.abs(indices[:, None] - indices[None, :])], b)
+        pure = levinson_solve(r, b)
+        dispatched = solve_symmetric_toeplitz(r, b)
+        # documented tolerance: 1e-6 relative between O(n^2) and O(n^3)
+        assert np.allclose(pure, dense, rtol=1e-6, atol=1e-9)
+        assert np.allclose(dispatched, dense, rtol=1e-6, atol=1e-9)
+
+
+def test_levinson_solve_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        levinson_solve(np.ones(3), np.ones(4))
+    with pytest.raises(ValueError):
+        levinson_solve(np.zeros(0), np.zeros(0))
+    with pytest.raises(ValueError):
+        levinson_solve(np.array([0.0, 1.0]), np.ones(2))
+
+
+def test_equalizer_levinson_matches_dense_reference():
+    rng = np.random.default_rng(8)
+    reference_training = rng.normal(size=1027)
+    channel = rng.normal(size=60) * np.exp(-np.arange(60) / 12.0)
+    received = np.convolve(reference_training, channel)[:1027]
+    received += 0.01 * rng.normal(size=received.size)
+    taps_fast = MMSEEqualizer(num_taps=480).fit(received, reference_training)
+    taps_dense = MMSEEqualizer(num_taps=480, solver="dense").fit(received, reference_training)
+    scale = np.max(np.abs(taps_dense))
+    # documented tolerance: 1e-6 relative of the largest tap
+    assert np.allclose(taps_fast, taps_dense, atol=1e-6 * scale, rtol=0)
+
+
+def test_equalizer_matches_seed_implementation():
+    """The FFT-correlation fit reproduces the seed np.correlate pipeline."""
+    from scipy import linalg as sp_linalg
+
+    def seed_fit(y, x, taps, reg, delay):
+        n = y.size
+        full_autocorr = np.correlate(y, y, mode="full") / n
+        zero_lag = y.size - 1
+        r_yy = full_autocorr[zero_lag:zero_lag + taps].copy()
+        r_yy[0] += reg * r_yy[0] + 1e-12
+        x_target = np.concatenate([np.zeros(delay), x])[:n] if delay else x
+        full_crosscorr = np.correlate(x_target, y, mode="full") / n
+        r_xy = full_crosscorr[zero_lag:zero_lag + taps]
+        return sp_linalg.solve_toeplitz((r_yy, r_yy), r_xy)
+
+    rng = np.random.default_rng(9)
+    y = rng.normal(size=1027)
+    x = rng.normal(size=1027)
+    for delay in (0, 7):
+        seed_taps = seed_fit(y, x, 480, 1e-3, delay)
+        fast_taps = MMSEEqualizer(num_taps=480, delay=delay).fit(y, x)
+        scale = np.max(np.abs(seed_taps))
+        # documented tolerance: 1e-9 relative (FFT correlations + the
+        # time-reversal phase identity reassociate rounding)
+        assert np.allclose(fast_taps, seed_taps, atol=1e-9 * scale, rtol=0)
+
+
+def test_fit_apply_many_matches_sequential_fit_apply():
+    rng = np.random.default_rng(10)
+    reference = rng.normal(size=1027)
+    bursts = [rng.normal(size=4000 + 135) for _ in range(5)]
+    sequential = MMSEEqualizer(num_taps=480)
+    expected = [sequential.fit_apply(b, slice(0, 1027), reference) for b in bursts]
+    batch = MMSEEqualizer(num_taps=480)
+    results = batch.fit_apply_many(bursts, slice(0, 1027), reference)
+    assert len(results) == len(expected)
+    for got, want in zip(results, expected):
+        # batched axis FFTs are bit-identical to the per-burst transforms
+        # today; 1e-10 absolute guards against backend changes
+        assert np.allclose(got, want, atol=1e-10, rtol=0)
+    # the batch leaves the last burst's taps behind, like a sequential loop
+    assert np.allclose(batch.coefficients, sequential.coefficients, atol=1e-10, rtol=0)
+
+
+def test_fit_apply_many_empty_and_bad_training():
+    eq = MMSEEqualizer(num_taps=32)
+    assert eq.fit_apply_many([], slice(0, 64), np.zeros(64)) == []
+    rng = np.random.default_rng(11)
+    # training segment length must match the reference for every burst
+    with pytest.raises(ValueError):
+        MMSEEqualizer(num_taps=32).fit_apply_many(
+            [rng.normal(size=200), rng.normal(size=300)],
+            slice(0, None),
+            rng.normal(size=200),
+        )
+
+
+# ----------------------------------------------------------------- run_packets
+def test_run_packets_matches_run_packet_loop():
+    from repro.environments.factory import build_link_pair
+    from repro.link.session import LinkSession
+
+    forward, backward = build_link_pair(site=SITE_CATALOG["lake"], distance_m=5.0, seed=21)
+    batched = LinkSession(forward, backward, seed=22)
+    stats_batched = batched.run_packets(3, rng=np.random.default_rng(5))
+
+    forward2, backward2 = build_link_pair(site=SITE_CATALOG["lake"], distance_m=5.0, seed=21)
+    looped = LinkSession(forward2, backward2, seed=22)
+    rng = np.random.default_rng(5)
+    results = [looped.run_packet(rng=rng) for _ in range(3)]
+
+    assert stats_batched.num_packets == 3
+    for batch_result, loop_result in zip(stats_batched.results, results):
+        assert batch_result == loop_result
+
+
+# ------------------------------------------------------------------ multipath
+def test_tap_amplitudes_match_physics_path_amplitude():
+    """The vectorized tap builder's inlined loss math must stay bit-identical
+    to repro.channel.physics.path_amplitude (same float operations)."""
+    from repro.channel.multipath import ImageMethodGeometry, MultipathModel
+    from repro.channel.physics import path_amplitude
+
+    geometry = ImageMethodGeometry(
+        water_depth_m=10.0, tx_depth_m=2.2, rx_depth_m=3.7, horizontal_range_m=25.0
+    )
+    model = MultipathModel(
+        geometry=geometry, surface_loss_db=0.0, bottom_loss_db=0.0, max_bounces=3
+    )
+    for path in model.paths():
+        assert abs(path.amplitude) == path_amplitude(path.length_m)

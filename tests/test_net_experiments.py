@@ -118,3 +118,10 @@ def test_cli_net_rejects_bad_destination(capsys):
     captured = capsys.readouterr()
     assert exit_code == 2
     assert "error" in captured.err
+
+
+def test_calibration_packets_per_point_requires_calibrated_link():
+    with pytest.raises(ValueError, match="calibrated"):
+        NetScenario(link="physical", calibration_packets_per_point=4)
+    with pytest.raises(ValueError, match="at least 1"):
+        NetScenario(calibration_packets_per_point=0)

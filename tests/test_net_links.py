@@ -94,3 +94,17 @@ def test_physical_link_delivers_and_caches_sessions():
     first = link._session_for(5.0)
     assert link._session_for(5.1) is first       # same 0.5 m quantum
     assert link._session_for(9.0) is not first   # different quantum
+
+
+def test_calibrate_from_phy_progress_callback():
+    from repro.net.links import calibrate_from_phy
+
+    lines = []
+    calibration = calibrate_from_phy(
+        site="lake", distances_m=(2.0, 5.0), packets_per_point=1, seed=4,
+        progress=lines.append,
+    )
+    assert len(calibration.distances_m) == 2
+    assert len(lines) == 2
+    assert "1/2" in lines[0] and "2/2" in lines[1]
+    assert "eta" in lines[0]

@@ -91,3 +91,29 @@ def test_events_can_schedule_events():
     scheduler.run()
     assert seen == [0, 1, 2, 3]
     assert scheduler.now_s == 3.0
+
+
+def test_num_pending_tracks_cancellations_cheaply():
+    scheduler = Scheduler()
+    events = [scheduler.at(float(i), lambda: None) for i in range(5)]
+    assert scheduler.num_pending == 5
+    scheduler.cancel(events[1])
+    scheduler.cancel(events[1])  # double-cancel must not double-count
+    assert scheduler.num_pending == 4
+    scheduler.run()
+    assert scheduler.num_pending == 0
+    assert scheduler.num_processed == 4
+    # cancelling an already-run event is a no-op and does not corrupt counts
+    scheduler.cancel(events[0])
+    assert scheduler.num_pending == 0
+
+
+def test_cancelled_then_rescheduled_pattern():
+    scheduler = Scheduler()
+    fired = []
+    timer = scheduler.at(5.0, lambda: fired.append("old"))
+    scheduler.cancel(timer)
+    scheduler.at(2.0, lambda: fired.append("new"))
+    scheduler.run()
+    assert fired == ["new"]
+    assert scheduler.num_pending == 0

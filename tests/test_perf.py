@@ -192,3 +192,54 @@ def test_trellis_tables_are_frozen():
         trellis.next_state[0, 0] = 1
     with pytest.raises(ValueError):
         trellis.outputs[0, 0, 0] = 1
+
+
+# ------------------------------------------------------------------- perf gate
+def test_gate_comparison_flags_only_regressions_beyond_threshold():
+    from repro.perf import gate_comparison
+    from repro.perf.harness import ComparisonRow
+
+    rows = [
+        ComparisonRow(name="faster", baseline_s=0.02, current_s=0.01),
+        ComparisonRow(name="steady", baseline_s=0.01, current_s=0.0104),
+        ComparisonRow(name="slower", baseline_s=0.01, current_s=0.02),
+    ]
+    flagged = gate_comparison(rows, fail_above_pct=10.0)
+    assert [row.name for row in flagged] == ["slower"]
+    assert gate_comparison(rows, fail_above_pct=1000.0) == []
+    with pytest.raises(ValueError):
+        gate_comparison(rows, fail_above_pct=-1.0)
+
+
+def test_gate_comparison_ignores_zero_baselines():
+    from repro.perf import gate_comparison
+    from repro.perf.harness import ComparisonRow
+
+    rows = [ComparisonRow(name="new", baseline_s=0.0, current_s=0.01)]
+    assert gate_comparison(rows, fail_above_pct=0.0) == []
+
+
+def test_preamble_suite_asserts_cached_waveform():
+    # building the suite runs the no-per-call-allocation assertions
+    benchmarks = build_suite("preamble", quick=True)
+    names = {bench.name for bench in benchmarks}
+    assert {"detect_preamble", "detect_preamble_reference"} <= names
+
+
+def test_equalizer_suite_builds_and_runs_quickly():
+    results = run_suite("equalizer", quick=True)
+    names = {result.name for result in results}
+    assert {"equalizer_fit_480", "equalizer_fit_480_dense_reference",
+            "equalizer_fit_apply_many_8"} <= names
+
+
+def test_channel_suite_includes_reference_path():
+    benchmarks = build_suite("channel", quick=True)
+    names = {bench.name for bench in benchmarks}
+    assert {"channel_transmit_preamble", "channel_transmit_reference"} <= names
+
+
+def test_link_suite_includes_batch_benchmark():
+    benchmarks = build_suite("link", quick=True)
+    names = {bench.name for bench in benchmarks}
+    assert {"link_session_packet", "link_session_packets_batch"} <= names
