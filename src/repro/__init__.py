@@ -39,6 +39,12 @@ SIGCOMM 2022).  It contains:
   ``python -m repro.cli bench``: suites over the FEC/OFDM/preamble/channel,
   end-to-end link and network-simulator hot paths, persisted as
   ``BENCH_<suite>.json`` for per-PR perf trajectories.
+* :mod:`repro.validation` -- the Monte-Carlo figure validation harness
+  behind ``python -m repro.cli validate``: declarative
+  :class:`~repro.validation.FigureSpec` encodings of the paper's key
+  figures run as seeded trials with Wilson confidence intervals, gated
+  against committed ``VALID_<figure>.json`` envelopes, plus seed-paired
+  fast-path-vs-reference equivalence reruns.
 """
 
 from repro.core.config import OFDMConfig, ProtocolConfig
@@ -64,8 +70,14 @@ from repro.net import (
     PhysicalLink,
 )
 from repro.perf import Benchmark, BenchResult
+from repro.validation import (
+    FigureSpec,
+    MonteCarloRunner,
+    ValidationReport,
+    ab_compare,
+)
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "OFDMConfig",
@@ -91,5 +103,9 @@ __all__ = [
     "PhysicalLink",
     "Benchmark",
     "BenchResult",
+    "FigureSpec",
+    "MonteCarloRunner",
+    "ValidationReport",
+    "ab_compare",
     "__version__",
 ]

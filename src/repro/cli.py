@@ -9,6 +9,7 @@ code::
     python -m repro.cli sos --distance 100 --rate 10 --repetitions 5
     python -m repro.cli mac --transmitters 3 --packets 120
     python -m repro.cli bench --quick
+    python -m repro.cli validate --quick --compare-reference
     python -m repro.cli sites
 
 Each subcommand prints a small report mirroring the metrics the paper uses
@@ -16,7 +17,9 @@ Each subcommand prints a small report mirroring the metrics the paper uses
 ``sweep`` subcommand expands a parameter grid with
 :mod:`repro.experiments` and runs it across worker processes; ``bench``
 runs the :mod:`repro.perf` microbenchmark suites and writes one
-``BENCH_<suite>.json`` per suite.
+``BENCH_<suite>.json`` per suite; ``validate`` runs the
+:mod:`repro.validation` Monte-Carlo figure harness against the committed
+``VALID_<figure>.json`` envelopes.
 """
 
 from __future__ import annotations
@@ -154,6 +157,53 @@ def _add_net_parser(subparsers) -> None:
                         help="also write the result summary to FILE as JSON")
 
 
+def _add_validate_parser(subparsers) -> None:
+    from repro.validation import available_figures
+
+    parser = subparsers.add_parser(
+        "validate",
+        help="Monte-Carlo validation of the paper figures with CI gates",
+        description="Run each figure spec as N seeded trials per grid "
+                    "point, report 95% Wilson/normal confidence intervals "
+                    "per metric, optionally gate the headline metrics "
+                    "against the committed VALID_<figure>.json envelopes, "
+                    "and rerun link figures seed-paired against the "
+                    "reference implementations (fftconvolve channel, dense "
+                    "equalizer solve) to confirm fast-path equivalence "
+                    "end to end.",
+    )
+    parser.add_argument("--figure", nargs="+", choices=available_figures(),
+                        default=None, help="figures to run (default: all)")
+    parser.add_argument("--trials", type=int, default=None,
+                        help="Monte-Carlo trials per grid point "
+                             "(default: 5, or 2 with --quick)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed offsetting every trial seed")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: quick grid subsets, fewer "
+                             "trials/packets, A/B equivalence included")
+    parser.add_argument("--compare-reference", action="store_true",
+                        help="gate headline metrics against the committed "
+                             "VALID_<figure>.json envelopes (exit 1 on fail)")
+    parser.add_argument("--write-reference", action="store_true",
+                        help="(re)write VALID_<figure>.json from this run -- "
+                             "do this after an intentional physics change")
+    parser.add_argument("--reference-dir", metavar="DIR", default=".",
+                        help="directory of the VALID_*.json envelopes "
+                             "(default: current directory)")
+    parser.add_argument("--ab-compare", choices=["fast-path", "solver", "both", "none"],
+                        default=None,
+                        help="seed-paired reference rerun of the first "
+                             "selected link figure (default: both with "
+                             "--quick, none otherwise)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for link figures")
+    parser.add_argument("--cache", metavar="DIR", default=None,
+                        help="experiment-runner result cache directory")
+    parser.add_argument("--json", metavar="FILE", dest="json_path", default=None,
+                        help="also write the validation report to FILE as JSON")
+
+
 def _add_sos_parser(subparsers) -> None:
     parser = subparsers.add_parser("sos", help="broadcast SoS beacons over a long-range link")
     parser.add_argument("--site", choices=sorted(SITE_CATALOG), default="beach")
@@ -183,6 +233,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sweep_parser(subparsers)
     _add_net_parser(subparsers)
     _add_bench_parser(subparsers)
+    _add_validate_parser(subparsers)
     _add_sos_parser(subparsers)
     _add_mac_parser(subparsers)
     subparsers.add_parser("sites", help="list the simulated evaluation sites")
@@ -308,6 +359,108 @@ def _run_bench(args) -> int:
     return 0
 
 
+def _run_validate(args) -> int:
+    from repro.validation import (
+        FigureReport,
+        MonteCarloRunner,
+        ValidationReport,
+        ab_compare,
+        available_figures,
+        check_against_envelope,
+        get_figure,
+        load_envelope,
+        valid_json_path,
+        write_envelope,
+    )
+
+    if args.trials is not None and args.trials < 1:
+        print("error: --trials must be at least 1", file=sys.stderr)
+        return 2
+    if args.compare_reference and args.write_reference:
+        print("error: --compare-reference and --write-reference are exclusive",
+              file=sys.stderr)
+        return 2
+    if args.write_reference and args.quick:
+        # A quick-grid envelope would only cover the quick axis subset, so
+        # every later full-grid comparison would fail on the missing
+        # points; references must come from full runs (see README).
+        print("error: --write-reference needs a full run (drop --quick)",
+              file=sys.stderr)
+        return 2
+    figures = list(args.figure) if args.figure else list(available_figures())
+    trials = args.trials if args.trials is not None else (2 if args.quick else 5)
+    ab_mode = args.ab_compare
+    if ab_mode is None:
+        ab_mode = "both" if args.quick else "none"
+
+    runner = MonteCarloRunner(
+        trials=trials,
+        base_seed=args.seed,
+        max_workers=args.workers,
+        cache_dir=args.cache,
+        progress=lambda message: print(f"  [mc] {message}", file=sys.stderr),
+    )
+    report = ValidationReport()
+    for name in figures:
+        spec = get_figure(name)
+        result = runner.run(spec, quick=args.quick)
+        figure_report = FigureReport(result=result)
+        if args.compare_reference:
+            envelope_path = valid_json_path(name, args.reference_dir)
+            try:
+                envelope = load_envelope(envelope_path)
+            except (OSError, ValueError, KeyError) as error:
+                print(f"error: cannot read envelope {envelope_path}: {error}",
+                      file=sys.stderr)
+                return 2
+            figure_report.checks = check_against_envelope(result, envelope, spec)
+            figure_report.compared = True
+        if args.write_reference:
+            path = write_envelope(result, args.reference_dir)
+            print(f"  envelope written: {path}", file=sys.stderr)
+        report.add(figure_report)
+
+    if ab_mode != "none":
+        link_figures = [n for n in figures if get_figure(n).kind == "link"]
+        if not link_figures:
+            print("note: --ab-compare skipped (no link figure selected)")
+        else:
+            variants = ["fast-path", "solver"] if ab_mode == "both" else [ab_mode]
+            for variant in variants:
+                # Reusing the Monte-Carlo runner lets the A/B baseline come
+                # straight out of its record memo: only the reference
+                # variant's scenarios are simulated here.
+                report.ab_rows.extend(
+                    ab_compare(
+                        link_figures[0],
+                        variant=variant,
+                        quick=args.quick,
+                        runner=runner,
+                    )
+                )
+
+    print(report.to_markdown())
+    if args.json_path:
+        path = report.save(args.json_path)
+        print(f"report written to {path}")
+    gated = args.compare_reference or bool(report.ab_rows)
+    if gated:
+        if report.passed:
+            print("validation gate passed")
+        else:
+            print("VALIDATION GATE FAILED:", file=sys.stderr)
+            for fig in report.figures:
+                for check in fig.checks:
+                    if not check.passed:
+                        print(f"  {fig.result.figure}: {check.describe()}",
+                              file=sys.stderr)
+            for row in report.ab_rows:
+                if not row.passed:
+                    print(f"  {row.describe()}", file=sys.stderr)
+            return 1
+    return 0
+
+
 def _run_net(args) -> int:
     import json
 
@@ -395,6 +548,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": _run_sweep,
         "net": _run_net,
         "bench": _run_bench,
+        "validate": _run_validate,
         "sos": _run_sos,
         "mac": _run_mac,
         "sites": _run_sites,

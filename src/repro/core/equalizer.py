@@ -44,7 +44,10 @@ from repro.dsp.fastconv import (
 from repro.dsp.levinson import solve_symmetric_toeplitz
 from repro.utils.validation import require_positive
 
-_SOLVERS = ("levinson", "dense")
+#: Toeplitz solvers :class:`MMSEEqualizer` accepts (public so callers that
+#: thread a solver choice through -- DataDecoder, ModemSpec -- can validate
+#: eagerly instead of failing deep inside the first decode).
+EQUALIZER_SOLVERS = ("levinson", "dense")
 
 #: Cache of time-reversal phase ramps keyed by (signal length, FFT length):
 #: ``rfft(y[::-1], nf) == conj(rfft(y, nf)) * exp(-2j pi k (n-1) / nf)``,
@@ -81,8 +84,8 @@ class MMSEEqualizer:
             raise ValueError("regularization must be non-negative")
         if delay < 0:
             raise ValueError("delay must be non-negative")
-        if solver not in _SOLVERS:
-            raise ValueError(f"solver must be one of {_SOLVERS}, got {solver!r}")
+        if solver not in EQUALIZER_SOLVERS:
+            raise ValueError(f"solver must be one of {EQUALIZER_SOLVERS}, got {solver!r}")
         self.num_taps = int(num_taps)
         self.regularization = float(regularization)
         self.delay = int(delay)

@@ -17,7 +17,6 @@ and a parallel run of the same scenarios produce equal result sets.
 from __future__ import annotations
 
 import json
-import math
 import pathlib
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
@@ -27,6 +26,8 @@ import numpy as np
 from repro.analysis.metrics import format_table
 from repro.experiments.scenario import Scenario
 from repro.link.session import LinkStatistics
+from repro.utils.jsonsafe import nan_to_none as _nan_to_none
+from repro.utils.jsonsafe import none_to_nan as _none_to_nan
 
 #: Default columns of :meth:`ResultSet.to_table`.
 DEFAULT_TABLE_COLUMNS = (
@@ -40,13 +41,6 @@ DEFAULT_TABLE_COLUMNS = (
 )
 
 
-def _nan_to_none(value: float) -> float | None:
-    """JSON-safe float: NaN becomes ``None``."""
-    return None if isinstance(value, float) and math.isnan(value) else value
-
-
-def _none_to_nan(value) -> float:
-    return float("nan") if value is None else float(value)
 
 
 @dataclass(eq=False)

@@ -1,0 +1,168 @@
+"""Seed-paired A/B comparison: fast paths vs reference paths, end to end.
+
+The per-kernel golden tests (``tests/test_fastpath_golden.py``) pin each
+fast implementation to its reference at the function level; this module
+closes the remaining gap by rerunning *whole figures* seed-paired -- the
+same scenarios, the same seeds, only the implementation flag flipped --
+and comparing the resulting link metrics pairwise:
+
+* ``"fast-path"``: ``Scenario.use_fast_path=False`` swaps every channel
+  onto the retained ``fftconvolve`` pipeline.
+* ``"solver"``: ``ModemSpec.equalizer_solver="dense"`` swaps the receive
+  equalizer onto the retained O(n^3) Toeplitz solve.
+
+Because both references agree with the fast paths to ~1e-9 of the signal
+and bit decisions have margins orders of magnitude larger, a seed-paired
+rerun is expected to make *identical* decisions packet for packet; the
+default tolerances allow less than one flipped decision per hundred and
+exist only so a single genuinely borderline packet cannot flake CI.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments.scenario import Scenario
+from repro.validation.figures import FigureSpec, get_figure, link_outcome
+from repro.validation.montecarlo import MonteCarloRunner
+from repro.validation.stats import nan_to_none
+
+#: Scenario transforms selecting the reference implementation per variant.
+AB_VARIANTS: dict[str, Callable[[Scenario], Scenario]] = {
+    "fast-path": lambda s: s.replace(use_fast_path=False),
+    "solver": lambda s: s.replace(
+        modem=dataclasses.replace(s.modem, equalizer_solver="dense")
+    ),
+}
+
+#: Default per-metric pass thresholds on the maximum absolute paired
+#: difference of the metric's per-trial value.  Decisions are expected to
+#: be identical (delta exactly 0.0); 0.01 tolerates a lone borderline
+#: packet in a 100-packet campaign without masking real divergence.
+AB_TOLERANCES: dict[str, float] = {
+    "coded_ber": 0.01,
+    "per": 0.01,
+    "detection_rate": 0.01,
+}
+
+
+@dataclass(frozen=True)
+class ABRow:
+    """Paired comparison of one metric between fast and reference runs."""
+
+    figure: str
+    variant: str
+    metric: str
+    n_pairs: int
+    mean_delta: float
+    max_abs_delta: float
+    tolerance: float
+
+    @property
+    def passed(self) -> bool:
+        """Whether the paired runs agree within tolerance."""
+        return self.max_abs_delta <= self.tolerance
+
+    def to_dict(self) -> dict:
+        return {
+            "figure": self.figure,
+            "variant": self.variant,
+            "metric": self.metric,
+            "n_pairs": self.n_pairs,
+            "mean_delta": nan_to_none(self.mean_delta),
+            "max_abs_delta": nan_to_none(self.max_abs_delta),
+            "tolerance": self.tolerance,
+            "passed": self.passed,
+        }
+
+    def to_markdown_row(self) -> str:
+        verdict = "pass" if self.passed else "**FAIL**"
+        return (
+            f"| {self.figure} | {self.variant} | {self.metric} | "
+            f"{self.mean_delta:+.2e} | {self.max_abs_delta:.2e} | {verdict} |"
+        )
+
+    def describe(self) -> str:
+        status = "ok" if self.passed else "FAIL"
+        return (
+            f"{self.figure}/{self.variant}/{self.metric}: "
+            f"max |delta| {self.max_abs_delta:.2e} over {self.n_pairs} pairs "
+            f"(tol {self.tolerance:g}) -> {status}"
+        )
+
+
+def _metric_value(outcome, metric: str) -> float:
+    if metric in outcome.counts:
+        successes, total = outcome.counts[metric]
+        return successes / total if total else float("nan")
+    return float(outcome.values[metric])
+
+
+def ab_compare(
+    figure: FigureSpec | str,
+    variant: str = "fast-path",
+    trials: int = 3,
+    base_seed: int = 0,
+    quick: bool = False,
+    max_workers: int | None = None,
+    metrics: tuple[str, ...] = ("coded_ber", "per", "detection_rate"),
+    tolerances: dict[str, float] | None = None,
+    runner: MonteCarloRunner | None = None,
+) -> list[ABRow]:
+    """Rerun a link figure seed-paired with a reference variant.
+
+    Both scenario sets (fast and reference) go through the runner's
+    memoizing record executor, so the pairing stays trivially aligned,
+    the pool is shared, and -- when ``runner`` is the same instance a
+    Monte-Carlo pass already used -- the baseline records are reused
+    instead of re-simulated (only the reference variant runs).  When
+    ``runner`` is given it supplies trials/base_seed/max_workers and the
+    corresponding arguments here are ignored.  Returns one
+    :class:`ABRow` per metric.
+    """
+    spec = get_figure(figure) if isinstance(figure, str) else figure
+    if spec.kind != "link":
+        raise ValueError(
+            f"ab_compare needs a link figure; {spec.name} is {spec.kind!r}"
+        )
+    try:
+        transform = AB_VARIANTS[variant]
+    except KeyError:
+        raise ValueError(
+            f"unknown variant {variant!r}; known: {', '.join(sorted(AB_VARIANTS))}"
+        ) from None
+    tolerances = dict(AB_TOLERANCES, **(tolerances or {}))
+
+    mc = runner if runner is not None else MonteCarloRunner(
+        trials=trials, base_seed=base_seed, max_workers=max_workers
+    )
+    baseline = mc.scenarios_for(spec, quick=quick)
+    reference = [transform(scenario) for scenario in baseline]
+    records = mc.run_link_records(baseline + reference)
+    base_records = records[: len(baseline)]
+    ref_records = records[len(baseline):]
+
+    rows = []
+    for metric in metrics:
+        deltas = []
+        for base_record, ref_record in zip(base_records, ref_records):
+            base_value = _metric_value(link_outcome(base_record), metric)
+            ref_value = _metric_value(link_outcome(ref_record), metric)
+            deltas.append(base_value - ref_value)
+        finite = [d for d in deltas if d == d]  # drop NaN pairs (no data)
+        mean_delta = sum(finite) / len(finite) if finite else float("nan")
+        max_abs = max((abs(d) for d in finite), default=float("nan"))
+        rows.append(
+            ABRow(
+                figure=spec.name,
+                variant=variant,
+                metric=metric,
+                n_pairs=len(deltas),
+                mean_delta=mean_delta,
+                max_abs_delta=max_abs,
+                tolerance=tolerances.get(metric, 0.01),
+            )
+        )
+    return rows

@@ -1,0 +1,250 @@
+"""Validation reports and the committed ``VALID_*.json`` envelopes.
+
+The envelope files follow the ``BENCH_*.json`` conventions of
+:mod:`repro.perf`: one JSON file per figure at the repo root
+(``VALID_<figure>.json``), a ``schema_version`` field, the settings the
+reference run used, and per-point statistics.  A committed envelope is
+the *expected* behaviour of the reproduction: a fresh Monte-Carlo run
+passes a point when its headline confidence interval, widened by the
+figure's declared tolerance, overlaps the envelope's interval.  Refactors
+that preserve the physics therefore stay green across machine and
+sampling noise, while a genuine behaviour change (a decoder regression, a
+channel-model edit) pushes the intervals apart and fails the gate.
+
+:class:`ValidationReport` aggregates figure results, per-point checks and
+A/B equivalence rows into one object with JSON and markdown-table
+rendering for the CLI and CI.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.validation.figures import FigureSpec, get_figure
+from repro.validation.montecarlo import FigureResult, PointEstimate
+from repro.validation.stats import MetricSummary, intervals_overlap, nan_to_none
+
+SCHEMA_VERSION = 1
+
+
+# ------------------------------------------------------------------ envelopes
+def valid_json_path(figure: str, directory: str | Path = ".") -> Path:
+    """The conventional ``VALID_<figure>.json`` path for a figure."""
+    return Path(directory) / f"VALID_{figure}.json"
+
+
+def write_envelope(
+    result: FigureResult, directory: str | Path = "."
+) -> Path:
+    """Write a figure's Monte-Carlo result as its committed envelope."""
+    spec = get_figure(result.figure)
+    path = valid_json_path(result.figure, directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "figure": result.figure,
+        "headline": spec.headline,
+        "tolerance": spec.tolerance,
+        "created_unix": time.time(),
+        "result": result.to_dict(),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def load_envelope(path: str | Path) -> FigureResult:
+    """Load the reference :class:`FigureResult` from a ``VALID_*.json``."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "result" not in data:
+        raise ValueError(f"{path} is not a VALID_*.json envelope")
+    return FigureResult.from_dict(data["result"])
+
+
+# --------------------------------------------------------------------- checks
+@dataclass(frozen=True)
+class PointCheck:
+    """Gate outcome of one grid point against the committed envelope."""
+
+    axis_value: float
+    metric: str
+    measured: MetricSummary
+    expected: MetricSummary
+    tolerance: float
+    passed: bool
+
+    def describe(self) -> str:
+        status = "ok" if self.passed else "FAIL"
+        return (
+            f"{self.axis_value:g}: measured {self.measured.format_value()} vs "
+            f"envelope {self.expected.format_value()} "
+            f"(+/-{self.tolerance:g}) -> {status}"
+        )
+
+
+def check_against_envelope(
+    result: FigureResult, envelope: FigureResult, spec: FigureSpec | None = None
+) -> list[PointCheck]:
+    """Gate a fresh result against the committed envelope, point by point.
+
+    Only axis values present in both runs are compared (quick runs sweep
+    a subset of the full grid); a fresh point missing from the envelope is
+    a failure -- it means the committed reference predates the figure's
+    current grid and must be regenerated.
+    """
+    spec = spec if spec is not None else get_figure(result.figure)
+    envelope_points = {p.axis_value: p for p in envelope.points}
+    checks = []
+    for point in result.points:
+        measured = point.summary(spec.headline)
+        expected_point: PointEstimate | None = envelope_points.get(point.axis_value)
+        if expected_point is None:
+            checks.append(
+                PointCheck(
+                    axis_value=point.axis_value,
+                    metric=spec.headline,
+                    measured=measured,
+                    expected=MetricSummary(
+                        name=spec.headline, kind=measured.kind,
+                        mean=float("nan"), std=float("nan"),
+                        ci_low=float("nan"), ci_high=float("nan"), n_trials=0,
+                    ),
+                    tolerance=spec.tolerance,
+                    passed=False,
+                )
+            )
+            continue
+        expected = expected_point.summary(spec.headline)
+        passed = intervals_overlap(
+            measured.ci_low, measured.ci_high,
+            expected.ci_low, expected.ci_high,
+            slack=spec.tolerance,
+        )
+        checks.append(
+            PointCheck(
+                axis_value=point.axis_value,
+                metric=spec.headline,
+                measured=measured,
+                expected=expected,
+                tolerance=spec.tolerance,
+                passed=passed,
+            )
+        )
+    return checks
+
+
+# --------------------------------------------------------------------- report
+@dataclass
+class FigureReport:
+    """One figure's contribution to a validation report."""
+
+    result: FigureResult
+    checks: list[PointCheck] = field(default_factory=list)
+    compared: bool = False
+
+    @property
+    def passed(self) -> bool:
+        """False only when an envelope comparison ran and failed."""
+        return all(check.passed for check in self.checks)
+
+    def to_dict(self) -> dict:
+        return {
+            "result": self.result.to_dict(),
+            "compared": self.compared,
+            "passed": self.passed,
+            "checks": [
+                {
+                    "axis_value": c.axis_value,
+                    "metric": c.metric,
+                    "passed": c.passed,
+                    "measured_mean": nan_to_none(c.measured.mean),
+                    "measured_ci": [nan_to_none(c.measured.ci_low), nan_to_none(c.measured.ci_high)],
+                    "expected_mean": nan_to_none(c.expected.mean),
+                    "expected_ci": [nan_to_none(c.expected.ci_low), nan_to_none(c.expected.ci_high)],
+                    "tolerance": c.tolerance,
+                }
+                for c in self.checks
+            ],
+        }
+
+
+@dataclass
+class ValidationReport:
+    """Aggregate of every figure (and A/B comparison) of one run."""
+
+    figures: list[FigureReport] = field(default_factory=list)
+    ab_rows: list = field(default_factory=list)  # ABRow instances (repro.validation.ab)
+
+    def add(self, report: FigureReport) -> None:
+        self.figures.append(report)
+
+    @property
+    def passed(self) -> bool:
+        """Every envelope check and every A/B row passed."""
+        return all(f.passed for f in self.figures) and all(
+            row.passed for row in self.ab_rows
+        )
+
+    @property
+    def num_checks(self) -> int:
+        return sum(len(f.checks) for f in self.figures)
+
+    # ------------------------------------------------------------- rendering
+    def to_markdown(self) -> str:
+        """Markdown tables: one per figure, plus the A/B table."""
+        lines: list[str] = []
+        for fig in self.figures:
+            spec = get_figure(fig.result.figure)
+            mode = "quick" if fig.result.quick else "full"
+            lines.append(
+                f"### {spec.title} (`{fig.result.figure}`, {mode}, "
+                f"{fig.result.trials} trials/point)"
+            )
+            lines.append("")
+            header = [spec.axis] + [
+                f"{m} (95% CI)" for m in spec.metrics
+            ]
+            if fig.compared:
+                header.append("envelope gate")
+            lines.append("| " + " | ".join(header) + " |")
+            lines.append("|" + "---|" * len(header))
+            checks_by_value = {c.axis_value: c for c in fig.checks}
+            for point in fig.result.points:
+                row = [f"{point.axis_value:g}"]
+                for metric in spec.metrics:
+                    row.append(point.summary(metric).format_value())
+                if fig.compared:
+                    check = checks_by_value.get(point.axis_value)
+                    row.append(
+                        "-" if check is None else ("pass" if check.passed else "**FAIL**")
+                    )
+                lines.append("| " + " | ".join(row) + " |")
+            lines.append("")
+        if self.ab_rows:
+            lines.append("### Seed-paired fast-path equivalence (A/B)")
+            lines.append("")
+            lines.append(
+                "| figure | variant | metric | mean delta | max abs delta | verdict |"
+            )
+            lines.append("|---|---|---|---|---|---|")
+            for row in self.ab_rows:
+                lines.append(row.to_markdown_row())
+            lines.append("")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "passed": self.passed,
+            "figures": [f.to_dict() for f in self.figures],
+            "ab": [row.to_dict() for row in self.ab_rows],
+        }
+
+    def save(self, path: str | Path) -> Path:
+        """Write the report as JSON and return the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8")
+        return path

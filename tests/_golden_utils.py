@@ -1,0 +1,107 @@
+"""Shared helpers for the golden-equivalence test suites.
+
+The golden tests compare fast implementations against retained references
+on *randomized* inputs, so a failure report is only actionable if it
+names the seed (and input shape) that produced it.  These wrappers raise
+``AssertionError`` messages that contain the offending seed, the measured
+maximum deviation versus the allowed tolerance, and a ready-to-paste
+reproduction snippet -- turning "assert_allclose failed somewhere in a
+loop over 10 seeds" into a one-command repro.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _failure_message(
+    label: str,
+    seed,
+    max_deviation: float,
+    tolerance: float,
+    detail: str = "",
+) -> str:
+    lines = [
+        f"golden mismatch in {label!r}",
+        f"  offending seed : {seed}",
+        f"  max deviation  : {max_deviation:.3e} (allowed {tolerance:.3e})",
+    ]
+    if detail:
+        lines.append(f"  inputs         : {detail}")
+    lines.append(
+        "  repro          : rng = np.random.default_rng("
+        f"{seed!r}); rerun {label!r} with it"
+    )
+    return "\n".join(lines)
+
+
+def assert_allclose_seeded(
+    actual,
+    desired,
+    seed,
+    label: str,
+    atol: float = 0.0,
+    rtol: float = 0.0,
+    detail: str = "",
+) -> None:
+    """``np.allclose`` with a seed-carrying failure message.
+
+    ``atol``/``rtol`` follow numpy semantics (``|a - d| <= atol + rtol *
+    |d|``), including the default ``equal_nan=False`` -- a NaN anywhere is
+    a failure, exactly like the plain ``np.allclose`` asserts this helper
+    replaced (matching NaNs passing would open a hole in the golden gates:
+    a regression producing NaN in both paths must not read as equivalence).
+    On failure the raised ``AssertionError`` names the seed, the measured
+    maximum deviation and the tolerance it exceeded.
+    """
+    actual = np.asarray(actual)
+    desired = np.asarray(desired)
+    if actual.shape != desired.shape:
+        raise AssertionError(
+            _failure_message(label, seed, float("inf"), atol,
+                             detail=f"shape {actual.shape} != {desired.shape}"
+                             + (f"; {detail}" if detail else ""))
+        )
+    if not np.allclose(actual, desired, atol=atol, rtol=rtol):
+        deviation = np.abs(np.asarray(actual, dtype=float)
+                           - np.asarray(desired, dtype=float))
+        allowed = atol + rtol * np.abs(desired)
+        # Report the element that overshoots its own per-element budget the
+        # most (with rtol, the largest deviation may be a different --
+        # passing -- element), so the message never reads as in-tolerance.
+        over = deviation - allowed
+        index = int(np.argmax(over))
+        raise AssertionError(
+            _failure_message(label, seed, float(deviation.flat[index]),
+                             float(np.ravel(allowed)[index] if np.ndim(allowed)
+                                   else allowed),
+                             detail=detail)
+            + f"\n  over budget by : {float(over.flat[index]):.3e}"
+        )
+
+
+def assert_bit_identical_seeded(actual, desired, seed, label: str, detail: str = "") -> None:
+    """Exact array equality with a seed-carrying failure message.
+
+    For decision-level comparisons (decoded bits, survivor paths) where
+    the contract is bit-identity, not closeness.  ``equal_nan=True``
+    mirrors the ``np.testing.assert_array_equal`` calls this replaced,
+    which treat matching NaNs as equal by design.
+    """
+    actual = np.asarray(actual)
+    desired = np.asarray(desired)
+    if actual.shape != desired.shape or not np.array_equal(actual, desired, equal_nan=True):
+        mismatches = (
+            int(np.count_nonzero(actual != desired))
+            if actual.shape == desired.shape
+            else -1
+        )
+        raise AssertionError(
+            _failure_message(
+                label, seed, float(mismatches), 0.0,
+                detail=(f"{mismatches} mismatching elements"
+                        if mismatches >= 0
+                        else f"shape {actual.shape} != {desired.shape}")
+                + (f"; {detail}" if detail else ""),
+            )
+        )

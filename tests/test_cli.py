@@ -183,6 +183,84 @@ def test_bench_fail_above_fails_on_regression(capsys, tmp_path):
     assert "PERF GATE FAILED" in capsys.readouterr().err
 
 
+def test_validate_command_quick_report(capsys, tmp_path):
+    out = tmp_path / "report.json"
+    code = main(["validate", "--figure", "ber_vs_snr", "--trials", "1",
+                 "--quick", "--workers", "1", "--ab-compare", "fast-path",
+                 "--json", str(out)])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "ber_vs_snr" in output
+    assert "95% CI" in output
+    assert "fast-path" in output and "pass" in output
+    assert "validation gate passed" in output
+    import json
+
+    payload = json.loads(out.read_text())
+    assert payload["passed"] is True
+    assert payload["ab"]
+
+
+def test_validate_command_write_then_compare_reference(capsys, tmp_path):
+    base = ["validate", "--figure", "sos_range", "--trials", "1",
+            "--reference-dir", str(tmp_path), "--ab-compare", "none"]
+    # References come from full runs; the later quick comparison sweeps
+    # the quick subset of the same grid against them.
+    assert main(base + ["--write-reference"]) == 0
+    assert (tmp_path / "VALID_sos_range.json").exists()
+    capsys.readouterr()
+    assert main(base + ["--quick", "--compare-reference"]) == 0
+    output = capsys.readouterr().out
+    assert "envelope gate" in output
+    assert "validation gate passed" in output
+
+
+def test_validate_command_refuses_quick_reference_write(capsys, tmp_path):
+    # A quick-grid envelope would make every later full-grid comparison
+    # fail on the missing points, so writing one is an error.
+    code = main(["validate", "--figure", "sos_range", "--trials", "1",
+                 "--quick", "--write-reference", "--ab-compare", "none",
+                 "--reference-dir", str(tmp_path)])
+    assert code == 2
+    assert "full run" in capsys.readouterr().err
+    assert not (tmp_path / "VALID_sos_range.json").exists()
+
+
+def test_validate_command_missing_envelope_errors(capsys, tmp_path):
+    code = main(["validate", "--figure", "net_pdr_vs_hops", "--trials", "1",
+                 "--quick", "--compare-reference", "--ab-compare", "none",
+                 "--reference-dir", str(tmp_path)])
+    assert code == 2
+    assert "cannot read envelope" in capsys.readouterr().err
+
+
+def test_validate_command_fails_on_shifted_envelope(capsys, tmp_path):
+    import json
+
+    base = ["validate", "--figure", "net_pdr_vs_hops", "--trials", "1",
+            "--reference-dir", str(tmp_path), "--ab-compare", "none"]
+    assert main(base + ["--write-reference"]) == 0
+    path = tmp_path / "VALID_net_pdr_vs_hops.json"
+    data = json.loads(path.read_text())
+    for point in data["result"]["points"]:
+        pdr = point["summaries"]["pdr"]
+        pdr["mean"], pdr["ci_low"], pdr["ci_high"] = 0.05, 0.04, 0.06
+    path.write_text(json.dumps(data))
+    capsys.readouterr()
+    code = main(base + ["--compare-reference"])
+    assert code == 1
+    assert "VALIDATION GATE FAILED" in capsys.readouterr().err
+
+
+def test_validate_command_rejects_bad_flags(capsys):
+    assert main(["validate", "--trials", "0"]) == 2
+    assert "--trials" in capsys.readouterr().err
+    assert main(["validate", "--compare-reference", "--write-reference"]) == 2
+    assert "exclusive" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        main(["validate", "--figure", "fig99"])
+
+
 def test_net_command_packets_per_point_rebuilds_table(capsys):
     code = main(["net", "--nodes", "4", "--topology", "line", "--spacing", "6",
                  "--range", "8", "--routing", "flooding", "--arq", "none",

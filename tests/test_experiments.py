@@ -359,3 +359,47 @@ def test_scenario_results_survive_pickling():
     direct = run_scenario(scenario).results
     pickled = run_scenario(pickle.loads(pickle.dumps(scenario))).results
     assert direct == pickled
+
+
+def test_modem_spec_rejects_unknown_solver_eagerly():
+    # The typo must fail at spec construction, not inside a pool worker
+    # during the first decode of a multi-point sweep.
+    with pytest.raises(ValueError, match="equalizer_solver"):
+        ModemSpec(equalizer_solver="levinsen")
+    with pytest.raises(ValueError, match="equalizer_solver"):
+        Scenario(site="bridge", modem=ModemSpec(equalizer_solver="qr"))
+
+
+def test_cross_process_determinism_matches_in_process_run():
+    """Regression guard for the STATIC_MOTION pickling bug class.
+
+    The same scenarios run (a) directly in this process and (b) through
+    the runner's ProcessPool must yield identical RunRecords AND identical
+    scenario hashes -- a catalog object that deserializes to a
+    non-identical copy in the worker would silently change the physics or
+    the cache key.  The grid deliberately crosses every axis that rides
+    the pickle path: motion presets (the original bug), the fixed-band
+    scheme objects, and the PR-5 use_fast_path / equalizer_solver flags.
+    """
+    import dataclasses
+
+    from repro.experiments.runner import _execute_scenario
+
+    scenarios = [
+        Scenario(site="lake", distance_m=5.0, num_packets=2, seed=31,
+                 motion="static"),
+        Scenario(site="lake", distance_m=5.0, num_packets=2, seed=32,
+                 motion="slow"),
+        Scenario(site="bridge", distance_m=6.0, num_packets=2, seed=33,
+                 scheme="fixed-0.5k", use_fast_path=False),
+        Scenario(site="bridge", distance_m=6.0, num_packets=2, seed=34,
+                 modem=dataclasses.replace(ModemSpec(),
+                                           equalizer_solver="dense")),
+    ]
+    in_process = [_execute_scenario(s) for s in scenarios]
+    pooled = ExperimentRunner(max_workers=2).run(scenarios)
+    assert list(pooled.records) == in_process
+    for record, scenario in zip(pooled.records, scenarios):
+        assert record.scenario.scenario_hash() == scenario.scenario_hash()
+    # The serialized form (what the JSON cache stores) must agree too.
+    assert (ResultSet(in_process).to_json() == pooled.to_json())
