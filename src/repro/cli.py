@@ -6,6 +6,8 @@ code::
     python -m repro.cli link --site lake --distance 10 --packets 20
     python -m repro.cli sweep --site lake --distance 5 10 20 --scheme adaptive fixed-3k
     python -m repro.cli net --nodes 50 --routing greedy --traffic poisson
+    python -m repro.cli trace capture --nodes 9 --out run.jsonl
+    python -m repro.cli trace compare --trace run.jsonl --b-link physical
     python -m repro.cli sos --distance 100 --rate 10 --repetitions 5
     python -m repro.cli mac --transmitters 3 --packets 120
     python -m repro.cli bench --quick
@@ -112,7 +114,8 @@ def _add_bench_parser(subparsers) -> None:
                              "ratchet CI runs against the committed baselines")
 
 
-def _add_net_parser(subparsers) -> None:
+def _add_net_scenario_args(parser) -> None:
+    """Flags describing one NetScenario (shared by net/trace subcommands)."""
     from repro.experiments.net_scenario import (
         ARQ_KINDS,
         LINK_KINDS,
@@ -121,15 +124,6 @@ def _add_net_parser(subparsers) -> None:
     )
     from repro.net.routing import ROUTING_CATALOG
 
-    parser = subparsers.add_parser(
-        "net",
-        help="simulate a multi-hop underwater network",
-        description="Run one repro.net scenario: N nodes at a site, a "
-                    "routing protocol, a per-hop link model (full PHY or "
-                    "the PHY-calibrated fast table), optional sliding-window "
-                    "ARQ and a traffic workload.  Prints PDR, end-to-end "
-                    "latency, hop counts and an energy proxy.",
-    )
     parser.add_argument("--site", choices=sorted(SITE_CATALOG), default="lake")
     parser.add_argument("--nodes", type=int, default=9, help="deployment size")
     parser.add_argument("--topology", choices=TOPOLOGY_KINDS, default="grid")
@@ -148,13 +142,144 @@ def _add_net_parser(subparsers) -> None:
     parser.add_argument("--destination", default=None,
                         help="fixed destination node (default: random peers)")
     parser.add_argument("--seed", type=int, default=0)
+
+
+def _net_scenario_from_args(args, **forced):
+    """Build the NetScenario the shared flags describe."""
+    from repro.experiments.net_scenario import NetScenario
+
+    fields = dict(
+        site=args.site,
+        topology=args.topology,
+        num_nodes=args.nodes,
+        spacing_m=args.spacing,
+        comm_range_m=args.comm_range,
+        routing=args.routing,
+        link=args.link,
+        arq=args.arq,
+        traffic=args.traffic,
+        rate_msgs_per_s=args.rate,
+        duration_s=args.duration,
+        destination=args.destination,
+        seed=args.seed,
+    )
+    fields.update(forced)
+    return NetScenario(**fields)
+
+
+def _add_net_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "net",
+        help="simulate a multi-hop underwater network",
+        description="Run one repro.net scenario: N nodes at a site, a "
+                    "routing protocol, a per-hop link model (full PHY or "
+                    "the PHY-calibrated fast table), optional sliding-window "
+                    "ARQ and a traffic workload.  Prints PDR, end-to-end "
+                    "latency, hop counts and an energy proxy.",
+    )
+    _add_net_scenario_args(parser)
     parser.add_argument("--packets-per-point", type=int, default=None,
                         help="with --link calibrated: rebuild the PER/bitrate "
                              "table from the full PHY with this many packets "
                              "per distance (progress/ETA printed) instead of "
                              "replaying the baked lake table")
+    parser.add_argument("--progress", action="store_true",
+                        help="print progress/ETA lines while the event queue "
+                             "drains (long runs)")
     parser.add_argument("--json", metavar="FILE", dest="json_path", default=None,
                         help="also write the result summary to FILE as JSON")
+
+
+def _add_trace_parser(subparsers) -> None:
+    from repro.experiments.net_scenario import ARQ_KINDS, LINK_KINDS
+    from repro.net.routing import ROUTING_CATALOG
+
+    parser = subparsers.add_parser(
+        "trace",
+        help="capture, replay, synthesize and compare app-layer traces",
+        description="The repro.trace workflows: `capture` records a network "
+                    "run as a portable trace (JSON lines, or columnar .npz "
+                    "by extension), `replay` feeds a trace back through any "
+                    "stack configuration deterministically, `synth` expands "
+                    "a parameterized user population into a replayable "
+                    "trace, and `compare` replays one trace against two "
+                    "stacks and reports the QoE deltas (latency "
+                    "percentiles, message QoE score, SOS deadline misses).",
+    )
+    trace_sub = parser.add_subparsers(dest="trace_command", required=True)
+
+    capture = trace_sub.add_parser(
+        "capture", help="run a scenario and record its app-layer trace")
+    _add_net_scenario_args(capture)
+    capture.add_argument("--out", required=True, metavar="FILE",
+                         help="trace file to write (.jsonl or .npz)")
+    capture.add_argument("--progress", action="store_true",
+                         help="print progress/ETA lines during the run")
+
+    replay = trace_sub.add_parser(
+        "replay", help="replay a trace against a (possibly modified) stack")
+    replay.add_argument("--trace", required=True, dest="trace_path",
+                        metavar="FILE", help="trace file (.jsonl or .npz)")
+    replay.add_argument("--link", choices=LINK_KINDS, default=None,
+                        help="override the captured stack's link model")
+    replay.add_argument("--routing", choices=sorted(ROUTING_CATALOG), default=None,
+                        help="override the captured stack's routing")
+    replay.add_argument("--arq", choices=ARQ_KINDS, default=None,
+                        help="override the captured stack's ARQ mode")
+    replay.add_argument("--seed", type=int, default=None,
+                        help="override the captured stack's seed")
+    replay.add_argument("--check-roundtrip", action="store_true",
+                        help="assert the replay reproduces the capture run's "
+                             "metrics bit for bit (no overrides allowed); "
+                             "exit 1 on any difference")
+    replay.add_argument("--progress", action="store_true",
+                        help="print progress/ETA lines during the replay")
+    replay.add_argument("--json", metavar="FILE", dest="json_path", default=None,
+                        help="also write the result + QoE report as JSON")
+
+    synth = trace_sub.add_parser(
+        "synth", help="synthesize a user-population workload into a trace")
+    _add_net_scenario_args(synth)
+    synth.add_argument("--group-size", type=int, default=4,
+                       help="users per dive group / vessel crew")
+    synth.add_argument("--duty", type=float, default=0.35,
+                       help="fraction of time a user is in an active session")
+    synth.add_argument("--session", type=float, default=120.0,
+                       help="mean active-session length in seconds")
+    synth.add_argument("--diurnal-period", type=float, default=None,
+                       help="activity-cycle period in seconds "
+                            "(default: duration/2)")
+    synth.add_argument("--diurnal-depth", type=float, default=0.8,
+                       help="rate swing of the activity cycle in [0, 1]")
+    synth.add_argument("--size-mean", type=float, default=16.0,
+                       help="lognormal message-size scale in bits")
+    synth.add_argument("--size-sigma", type=float, default=1.0,
+                       help="lognormal shape (heavier tail when larger)")
+    synth.add_argument("--out", required=True, metavar="FILE",
+                       help="trace file to write (.jsonl or .npz)")
+
+    compare = trace_sub.add_parser(
+        "compare", help="replay one trace against two stacks, report QoE deltas")
+    compare.add_argument("--trace", required=True, dest="trace_path",
+                         metavar="FILE", help="trace file (.jsonl or .npz)")
+    for side, default_hint in (("a", "the captured stack"),
+                               ("b", "the full-PHY reference")):
+        compare.add_argument(f"--{side}-link", choices=LINK_KINDS, default=None,
+                             help=f"stack {side.upper()} link model "
+                                  f"(default: {default_hint})")
+        compare.add_argument(f"--{side}-routing", choices=sorted(ROUTING_CATALOG),
+                             default=None,
+                             help=f"stack {side.upper()} routing override")
+        compare.add_argument(f"--{side}-arq", choices=ARQ_KINDS, default=None,
+                             help=f"stack {side.upper()} ARQ override")
+    compare.add_argument("--tau", type=float, default=None,
+                         help="QoE latency decay constant in seconds "
+                              "(default: 30)")
+    compare.add_argument("--sos-deadline", type=float, default=None,
+                         help="SOS alert delivery deadline in seconds "
+                              "(default: 60)")
+    compare.add_argument("--json", metavar="FILE", dest="json_path", default=None,
+                         help="also write the comparison as JSON")
 
 
 def _add_validate_parser(subparsers) -> None:
@@ -232,6 +357,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_link_parser(subparsers)
     _add_sweep_parser(subparsers)
     _add_net_parser(subparsers)
+    _add_trace_parser(subparsers)
     _add_bench_parser(subparsers)
     _add_validate_parser(subparsers)
     _add_sos_parser(subparsers)
@@ -464,23 +590,9 @@ def _run_validate(args) -> int:
 def _run_net(args) -> int:
     import json
 
-    from repro.experiments.net_scenario import NetScenario
-
     try:
-        scenario = NetScenario(
-            site=args.site,
-            topology=args.topology,
-            num_nodes=args.nodes,
-            spacing_m=args.spacing,
-            comm_range_m=args.comm_range,
-            routing=args.routing,
-            link=args.link,
-            arq=args.arq,
-            traffic=args.traffic,
-            rate_msgs_per_s=args.rate,
-            duration_s=args.duration,
-            destination=args.destination,
-            seed=args.seed,
+        scenario = _net_scenario_from_args(
+            args,
             calibration_packets_per_point=args.packets_per_point,
             calibration_progress=args.packets_per_point is not None,
         )
@@ -488,7 +600,7 @@ def _run_net(args) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    result = simulator.run(traffic=scenario.build_traffic())
+    result = simulator.run(traffic=scenario.build_traffic(), progress=args.progress)
     print(scenario.describe())
     print(result.describe())
     if args.json_path:
@@ -496,6 +608,165 @@ def _run_net(args) -> int:
             json.dump(result.to_dict(), handle, indent=2)
         print(f"  results written to       : {args.json_path}")
     return 0
+
+
+def _trace_capture(args) -> int:
+    from repro.trace import capture_scenario, save_trace
+
+    scenario = _net_scenario_from_args(args)
+    result, trace = capture_scenario(scenario, progress=args.progress)
+    print(scenario.describe())
+    print(result.describe())
+    print(trace.summary())
+    path = save_trace(trace, args.out)
+    print(f"  trace written to         : {path}")
+    return 0
+
+
+def _trace_replay(args) -> int:
+    import json
+
+    from repro.trace import (
+        check_roundtrip,
+        load_trace,
+        qoe_report,
+        replay_trace,
+        scenario_from_trace,
+    )
+    from repro.utils.jsonsafe import nan_to_none
+
+    trace = load_trace(args.trace_path)
+    overrides = {
+        key: value
+        for key in ("link", "routing", "arq", "seed")
+        if (value := getattr(args, key)) is not None
+    }
+    if args.check_roundtrip:
+        if overrides:
+            print("error: --check-roundtrip replays the captured stack; "
+                  "drop the stack overrides", file=sys.stderr)
+            return 2
+        identical, captured, replayed = check_roundtrip(trace)
+        if identical:
+            print(f"roundtrip OK: replay reproduced all "
+                  f"{len(replayed)} capture metrics bit for bit")
+            return 0
+        print("ROUNDTRIP FAILED: replayed metrics differ from capture:",
+              file=sys.stderr)
+        for key in sorted(set(captured) | set(replayed)):
+            if captured.get(key) != replayed.get(key):
+                print(f"  {key}: captured {captured.get(key)!r} "
+                      f"!= replayed {replayed.get(key)!r}", file=sys.stderr)
+        return 1
+    scenario = scenario_from_trace(trace, **overrides)
+    result = replay_trace(trace, scenario=scenario, progress=args.progress)
+    report = qoe_report(result.metrics)
+    print(scenario.describe())
+    print(result.describe())
+    print(report.summary())
+    if args.json_path:
+        payload = {
+            "scenario": scenario.to_dict(),
+            "metrics": result.to_dict(),
+            "qoe": report.to_dict(),
+        }
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(nan_to_none(payload), handle, indent=2)
+        print(f"  results written to       : {args.json_path}")
+    return 0
+
+
+def _trace_synth(args) -> int:
+    from repro.trace import PopulationWorkload, save_trace, synthesize_trace
+
+    scenario = _net_scenario_from_args(args, traffic="population")
+    workload = PopulationWorkload(
+        duration_s=args.duration,
+        base_rate_msgs_per_s=args.rate,
+        group_size=args.group_size,
+        activity_duty=args.duty,
+        mean_session_s=args.session,
+        diurnal_period_s=(
+            args.diurnal_period if args.diurnal_period is not None
+            else args.duration / 2.0
+        ),
+        diurnal_depth=args.diurnal_depth,
+        size_mean_bits=args.size_mean,
+        size_sigma=args.size_sigma,
+    )
+    trace = synthesize_trace(
+        workload,
+        scenario.build_topology(),
+        seed=args.seed,
+        meta={"scenario": scenario.to_dict()},
+    )
+    print(scenario.describe())
+    print(trace.summary())
+    path = save_trace(trace, args.out)
+    print(f"  trace written to         : {path}")
+    return 0
+
+
+def _trace_compare(args) -> int:
+    import json
+
+    from repro.trace import (
+        DEFAULT_LATENCY_TAU_S,
+        DEFAULT_SOS_DEADLINE_S,
+        compare_stacks,
+        load_trace,
+        scenario_from_trace,
+    )
+    from repro.utils.jsonsafe import nan_to_none
+
+    trace = load_trace(args.trace_path)
+    base = scenario_from_trace(trace)
+
+    def side_scenario(side: str):
+        overrides = {
+            key: value
+            for key in ("link", "routing", "arq")
+            if (value := getattr(args, f"{side}_{key}")) is not None
+        }
+        if side == "b" and not overrides:
+            overrides = {"link": "physical"}
+        return base.replace(**overrides) if overrides else base
+
+    delta = compare_stacks(
+        trace,
+        scenario_a=side_scenario("a"),
+        scenario_b=side_scenario("b"),
+        latency_tau_s=(
+            args.tau if args.tau is not None else DEFAULT_LATENCY_TAU_S
+        ),
+        sos_deadline_s=(
+            args.sos_deadline if args.sos_deadline is not None
+            else DEFAULT_SOS_DEADLINE_S
+        ),
+    )
+    print(f"trace: {trace.summary()}")
+    print(delta.to_markdown())
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(nan_to_none(delta.to_dict()), handle, indent=2)
+        print(f"  comparison written to    : {args.json_path}")
+    return 0
+
+
+def _run_trace(args) -> int:
+    handlers = {
+        "capture": _trace_capture,
+        "replay": _trace_replay,
+        "synth": _trace_synth,
+        "compare": _trace_compare,
+    }
+    try:
+        return handlers[args.trace_command](args)
+    except (OSError, ValueError) as error:
+        # Bad scenario parameters, unreadable/foreign trace files, traces
+        # missing the metadata a mode needs -- all user-input problems.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 def _run_sos(args) -> int:
@@ -547,6 +818,7 @@ def main(argv: list[str] | None = None) -> int:
         "link": _run_link,
         "sweep": _run_sweep,
         "net": _run_net,
+        "trace": _run_trace,
         "bench": _run_bench,
         "validate": _run_validate,
         "sos": _run_sos,

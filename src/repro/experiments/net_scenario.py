@@ -39,7 +39,7 @@ TOPOLOGY_KINDS = ("line", "grid", "random")
 LINK_KINDS = ("calibrated", "physical")
 
 #: Traffic workload keys.
-TRAFFIC_KINDS = ("poisson", "cbr", "sos")
+TRAFFIC_KINDS = ("poisson", "cbr", "sos", "population")
 
 #: ARQ mode keys (``"none"`` disables reliable transport).
 ARQ_KINDS = ("none", "go-back-n", "selective-repeat")
@@ -74,7 +74,9 @@ class NetScenario:
     window_size, timeout_s, max_retries:
         ARQ knobs (ignored for ``arq="none"``).
     traffic:
-        ``"poisson"``, ``"cbr"`` or ``"sos"``.
+        ``"poisson"``, ``"cbr"``, ``"sos"`` or ``"population"`` (the
+        :class:`~repro.trace.population.PopulationWorkload` user-group
+        synthesis: sessions, diurnal swing, heavy-tailed sizes).
     rate_msgs_per_s:
         Per-source Poisson rate (or ``1/interval`` for CBR).
     duration_s:
@@ -211,6 +213,18 @@ class NetScenario:
 
     def build_traffic(self) -> TrafficGenerator:
         """Construct the configured workload."""
+        if self.traffic == "population":
+            from repro.trace.population import PopulationWorkload
+
+            # Two diurnal cycles per run keeps the burst/lull contrast
+            # visible at any duration; the remaining knobs ride the
+            # module defaults (buddy groups of 4, 35% duty, lognormal
+            # sizes) so a scenario stays a one-line declaration.
+            return PopulationWorkload(
+                duration_s=self.duration_s,
+                base_rate_msgs_per_s=self.rate_msgs_per_s,
+                diurnal_period_s=self.duration_s / 2.0,
+            )
         if self.traffic == "sos":
             times = tuple(
                 float(t) for t in range(0, int(self.duration_s), 30)
@@ -228,8 +242,14 @@ class NetScenario:
             destination=self.destination,
         )
 
-    def build_simulator(self) -> NetworkSimulator:
-        """Construct the fully wired simulator for this scenario."""
+    def build_simulator(self, observer=None) -> NetworkSimulator:
+        """Construct the fully wired simulator for this scenario.
+
+        ``observer`` (a :class:`~repro.net.simulator.NetObserver`, e.g. a
+        :class:`~repro.trace.capture.TraceRecorder`) taps the app layer
+        without entering the scenario's identity: observation must never
+        change a scenario hash or its results.
+        """
         arq = (
             None
             if self.arq == "none"
@@ -248,6 +268,7 @@ class NetScenario:
             arq=arq,
             ttl=self.ttl,
             seed=self.seed + 1,
+            observer=observer,
         )
 
     # ------------------------------------------------------------------- misc
@@ -285,6 +306,16 @@ class NetScenario:
     def run(self) -> NetworkResult:
         """Run the scenario in this process."""
         return self.build_simulator().run(traffic=self.build_traffic())
+
+    def run_captured(self, progress: bool = False):
+        """Run the scenario with app-layer trace capture.
+
+        Returns ``(result, trace)``; see
+        :func:`repro.trace.capture.capture_scenario`.
+        """
+        from repro.trace.capture import capture_scenario
+
+        return capture_scenario(self, progress=progress)
 
 
 def run_net_scenario(scenario: NetScenario) -> NetworkResult:

@@ -46,7 +46,7 @@ from repro.net.routing import (
     build_routing,
 )
 from repro.net.scheduler import Event, Scheduler
-from repro.net.simulator import NetworkResult, NetworkSimulator
+from repro.net.simulator import NetObserver, NetworkResult, NetworkSimulator
 from repro.net.topology import AcousticNetTopology, NodePosition
 from repro.net.traffic import (
     AppMessage,
@@ -74,6 +74,7 @@ __all__ = [
     "LinkCalibration",
     "LinkModel",
     "LinkOutcome",
+    "NetObserver",
     "NetPacket",
     "NetworkMetrics",
     "NetworkResult",

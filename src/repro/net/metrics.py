@@ -114,6 +114,29 @@ class NetworkMetrics:
         latencies = self.latencies_s()
         return float(np.median(latencies)) if latencies.size else float("nan")
 
+    @property
+    def p95_latency_s(self) -> float:
+        """95th-percentile end-to-end latency of delivered payloads."""
+        latencies = self.latencies_s()
+        return float(np.percentile(latencies, 95.0)) if latencies.size else float("nan")
+
+    def latency_cdf(self) -> tuple[np.ndarray, np.ndarray]:
+        """Empirical latency CDF over *offered* payloads.
+
+        Returns ``(latencies, fraction)`` where ``fraction[i]`` is the
+        share of all offered payloads delivered within ``latencies[i]``
+        seconds.  Normalizing by offered (not delivered) payloads makes
+        losses visible: the curve plateaus at the PDR instead of 1.0,
+        which is the form QoE comparisons need -- a stack that delivers
+        fast but drops half the traffic must not dominate one that
+        delivers everything slowly.
+        """
+        latencies = np.sort(self.latencies_s())
+        if not self.offered:
+            return latencies, np.zeros(0)
+        fraction = np.arange(1, latencies.size + 1, dtype=float) / self.offered
+        return latencies, fraction
+
     # ------------------------------------------------------------------ hops
     def hop_counts(self) -> np.ndarray:
         """Hop counts of delivered payloads."""
@@ -155,6 +178,7 @@ class NetworkMetrics:
             "packet_delivery_ratio": self.packet_delivery_ratio,
             "mean_latency_s": self.mean_latency_s,
             "median_latency_s": self.median_latency_s,
+            "p95_latency_s": self.p95_latency_s,
             "mean_hop_count": self.mean_hop_count,
             "max_hop_count": self.max_hop_count,
             "transmissions": self.transmissions,
@@ -172,7 +196,7 @@ class NetworkMetrics:
             f"  delivered                : {self.delivered}/{self.offered} "
             f"(PDR {self.packet_delivery_ratio:.1%})",
             f"  end-to-end latency       : mean {self.mean_latency_s:.2f} s, "
-            f"median {self.median_latency_s:.2f} s",
+            f"median {self.median_latency_s:.2f} s, p95 {self.p95_latency_s:.2f} s",
             f"  hop count                : mean {self.mean_hop_count:.2f}, "
             f"max {self.max_hop_count}",
             f"  transmissions            : {self.transmissions} "

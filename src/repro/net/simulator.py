@@ -21,8 +21,11 @@ rather than scripted.
 from __future__ import annotations
 
 import itertools
+import sys
+import time
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -38,6 +41,31 @@ from repro.utils.rng import ensure_rng
 
 #: Size of an ACK packet on the wire (bits).
 ACK_SIZE_BITS = 8
+
+#: Events between two progress emissions of :meth:`NetworkSimulator.run`.
+PROGRESS_CHUNK_EVENTS = 20_000
+
+
+class NetObserver:
+    """App-layer instrumentation hooks on :class:`NetworkSimulator`.
+
+    Subclass and override the hooks of interest; the base class is a
+    no-op, so observers only pay for what they watch.  The concrete
+    trace recorder lives in :mod:`repro.trace.capture` -- this base stays
+    in :mod:`repro.net` so the simulator depends on nothing above it.
+    """
+
+    def on_send(self, time_s: float, uid: int, message: AppMessage, kind: str) -> None:
+        """An application message entered the network as payload ``uid``."""
+
+    def on_delivery(self, record: DeliveryRecord) -> None:
+        """A payload reached (one of) its destination(s)."""
+
+    def on_drop(self, record: DeliveryRecord, time_s: float) -> None:
+        """A payload was finalized as lost when the run drained."""
+
+    def on_flow_abort(self, time_s: float, flow_id: str) -> None:
+        """An ARQ flow exhausted its retries and was aborted."""
 
 
 @dataclass
@@ -146,6 +174,10 @@ class NetworkSimulator:
     seed:
         Master seed; a given (topology, traffic, seed) triple replays
         bit-identically.
+    observer:
+        Optional :class:`NetObserver` receiving app-layer hooks (sends,
+        deliveries, drops, flow aborts) -- how :mod:`repro.trace`
+        captures a run without the simulator knowing about traces.
     """
 
     def __init__(
@@ -159,6 +191,7 @@ class NetworkSimulator:
         forward_jitter_s: float = 0.15,
         mobility_interval_s: float | None = None,
         seed: int | np.random.Generator | None = None,
+        observer: NetObserver | None = None,
     ) -> None:
         if topology.num_nodes < 2:
             raise ValueError("the network needs at least two nodes")
@@ -170,6 +203,7 @@ class NetworkSimulator:
         self.collisions = bool(collisions)
         self.forward_jitter_s = float(forward_jitter_s)
         self.mobility_interval_s = mobility_interval_s
+        self.observer = observer if observer is not None else NetObserver()
         self._rng = ensure_rng(seed)
         self._scheduler = Scheduler()
         self._nodes = {name: _NodeState(name) for name in topology.names}
@@ -206,12 +240,18 @@ class NetworkSimulator:
         traffic: TrafficGenerator | None = None,
         until_s: float | None = None,
         max_events: int = 2_000_000,
+        progress: bool | Callable[[str], None] = False,
     ) -> NetworkResult:
         """Execute the scenario and return its metrics.
 
         The event queue drains naturally: traffic is finite, every packet
         copy carries a TTL, and ARQ flows stop once done or aborted, so
         ``until_s`` is a cap, not a requirement.
+
+        ``progress`` enables periodic progress/ETA lines while the event
+        queue drains (``True`` prints to stderr; a callable receives each
+        line), mirroring the ``calibrate_from_phy`` idiom so long runs
+        are followable from the CLI.
         """
         if self._ran:
             raise RuntimeError(
@@ -220,7 +260,16 @@ class NetworkSimulator:
             )
         self._ran = True
         if traffic is not None:
-            for message in traffic.messages(self.topology, self._rng):
+            # Traffic expansion draws from its own stream, derived with a
+            # single draw from the master generator.  The simulation's
+            # draw sequence is therefore independent of how many draws
+            # the generator consumed -- which is what lets a replayed
+            # trace (zero draws, see repro.trace) reproduce the original
+            # run's event interleaving bit for bit.
+            traffic_rng = np.random.default_rng(
+                int(self._rng.integers(0, 2 ** 63 - 1))
+            )
+            for message in traffic.messages(self.topology, traffic_rng):
                 self.send_message(
                     message.source, message.destination, message.time_s,
                     message.size_bits,
@@ -228,7 +277,7 @@ class NetworkSimulator:
         self.routing.prepare(self.topology)
         if self.mobility_interval_s is not None:
             self._scheduler.after(self.mobility_interval_s, self._on_mobility_step)
-        self._scheduler.run(until_s=until_s, max_events=max_events)
+        self._drain(until_s, max_events, progress)
         self._finalize_lost()
         sender_stats = {
             flow_id: sender.stats for flow_id, sender in self._senders_by_id.items()
@@ -250,17 +299,60 @@ class NetworkSimulator:
             ),
         )
 
-    def _finalize_lost(self) -> None:
-        for pending in self._pending.values():
-            self._metrics.add(
-                DeliveryRecord(
-                    uid=pending.uid,
-                    source=pending.source,
-                    destination=pending.destination,
-                    created_s=pending.created_s,
-                    kind=pending.kind,
-                )
+    def _drain(
+        self,
+        until_s: float | None,
+        max_events: int,
+        progress: bool | Callable[[str], None],
+    ) -> None:
+        """Run the event queue, optionally emitting progress/ETA lines."""
+        if progress is True:
+            emit: Callable[[str], None] | None = (
+                lambda line: print(line, file=sys.stderr)
             )
+        elif callable(progress):
+            emit = progress
+        else:
+            emit = None
+        if emit is None:
+            self._scheduler.run(until_s=until_s, max_events=max_events)
+            return
+        started = time.perf_counter()
+        processed = 0
+        while processed < max_events:
+            chunk = min(PROGRESS_CHUNK_EVENTS, max_events - processed)
+            ran = self._scheduler.run(until_s=until_s, max_events=chunk)
+            processed += ran
+            elapsed = time.perf_counter() - started
+            now = self._scheduler.now_s
+            if until_s is not None and now > 0:
+                # Sim-time fraction gives the honest ETA when a horizon
+                # is known; otherwise fall back to the queue's backlog.
+                remaining = elapsed / now * max(0.0, until_s - now)
+            elif processed > 0:
+                remaining = elapsed / processed * self._scheduler.num_pending
+            else:
+                remaining = 0.0
+            emit(
+                f"net run: {processed} events, t={now:.1f} s sim, "
+                f"{self._scheduler.num_pending} pending "
+                f"({elapsed:.1f}s elapsed, eta {remaining:.1f}s)"
+            )
+            if ran < chunk:
+                break
+
+    def _finalize_lost(self) -> None:
+        now = self._scheduler.now_s
+        for pending in self._pending.values():
+            record = DeliveryRecord(
+                uid=pending.uid,
+                source=pending.source,
+                destination=pending.destination,
+                created_s=pending.created_s,
+                kind=pending.kind,
+            )
+            self._metrics.add(record)
+            self.observer.on_drop(record, now)
         self._pending.clear()
 
     # -------------------------------------------------------------- app layer
@@ -280,6 +372,7 @@ class NetworkSimulator:
                 destination=BROADCAST, created_s=now, ttl=self.ttl,
                 size_bits=message.size_bits,
             )
+            self.observer.on_send(now, uid, message, "broadcast")
             self._enqueue(message.source, packet)
             return
         if self.arq is None:
@@ -292,6 +385,7 @@ class NetworkSimulator:
                 destination=message.destination, created_s=now, ttl=self.ttl,
                 size_bits=message.size_bits,
             )
+            self.observer.on_send(now, uid, message, "raw")
             self._enqueue(message.source, packet)
             return
         # Reliable flow: the payload *is* the delivery-record uid.
@@ -308,6 +402,7 @@ class NetworkSimulator:
             uid, message.source, message.destination, now, "data"
         )
         self._payload_sizes[uid] = message.size_bits
+        self.observer.on_send(now, uid, message, "data")
         sender.offer(uid)
         self._pump_flow(key)
 
@@ -351,8 +446,11 @@ class NetworkSimulator:
     def _on_flow_timeout(self, key: tuple[str, str]) -> None:
         self._flow_timers.pop(key, None)
         sender = self._senders[key]
+        was_failed = sender.failed
         for segment in sender.on_timeout(self._scheduler.now_s):
             self._enqueue(key[0], self._segment_packet(key, segment))
+        if sender.failed and not was_failed:
+            self.observer.on_flow_abort(self._scheduler.now_s, sender.flow_id)
         self._arm_flow_timer(key)
 
     # --------------------------------------------------------------- mobility
@@ -537,17 +635,17 @@ class NetworkSimulator:
         pending = self._pending.pop((node_name, uid), None)
         if pending is None:
             return
-        self._metrics.add(
-            DeliveryRecord(
-                uid=uid,
-                source=pending.source,
-                destination=pending.destination,
-                created_s=pending.created_s,
-                delivered_s=now,
-                hop_count=hop_count,
-                kind=pending.kind,
-            )
+        record = DeliveryRecord(
+            uid=uid,
+            source=pending.source,
+            destination=pending.destination,
+            created_s=pending.created_s,
+            delivered_s=now,
+            hop_count=hop_count,
+            kind=pending.kind,
         )
+        self._metrics.add(record)
+        self.observer.on_delivery(record)
 
     def _on_data_segment(
         self, node: _NodeState, packet: NetPacket, now: float

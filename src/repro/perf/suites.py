@@ -1,6 +1,6 @@
 """Benchmark suites over the reproduction's hot paths.
 
-Seven suites cover the layers every figure reproduction funnels through:
+Eight suites cover the layers every figure reproduction funnels through:
 
 ``fec``
     Viterbi decoding (vectorized and the retained loop reference, so the
@@ -25,6 +25,9 @@ Seven suites cover the layers every figure reproduction funnels through:
 ``net``
     The multi-hop network simulator: raw scheduler churn plus complete
     50-node greedy-routing and 12-node flooding scenarios.
+``trace``
+    The trace pipeline: population-workload synthesis, captured network
+    runs, trace replay, and JSONL/columnar (de)serialization round trips.
 
 Each builder returns fully-constructed :class:`~repro.perf.harness.Benchmark`
 closures: inputs are prepared at build time so the timed region contains
@@ -362,6 +365,83 @@ def net_suite(quick: bool = False) -> list[Benchmark]:
     ]
 
 
+def trace_suite(quick: bool = False) -> list[Benchmark]:
+    """Trace pipeline benchmarks: synthesis, capture, replay, (de)serialization.
+
+    The replay benchmark runs a pre-captured trace through a fresh stack
+    each call (simulators are one-shot), so it measures exactly what a
+    ``compare_stacks`` side or the CI round-trip smoke pays per replay.
+    """
+    from repro.experiments.net_scenario import NetScenario
+    from repro.trace.capture import capture_scenario
+    from repro.trace.events import Trace
+    from repro.trace.population import PopulationWorkload, synthesize_trace
+    from repro.trace.replay import replay_trace
+
+    scenario = NetScenario(
+        num_nodes=16, topology="grid", routing="greedy", arq="go-back-n",
+        duration_s=240.0, rate_msgs_per_s=0.02, seed=11,
+    )
+    workload = PopulationWorkload(
+        duration_s=1800.0, base_rate_msgs_per_s=0.05,
+        diurnal_period_s=900.0,
+    )
+    topology = scenario.build_topology()
+    population_trace = synthesize_trace(
+        workload, topology, seed=11, meta={"scenario": scenario.to_dict()}
+    )
+    _, captured_trace = capture_scenario(scenario)
+    jsonl = captured_trace.dumps()
+    columns = population_trace.to_columns()
+
+    return [
+        Benchmark(
+            name="population_synthesize_16user_1800s",
+            func=lambda: synthesize_trace(workload, topology, seed=11),
+            items_per_call=len(population_trace.events),
+            unit="events",
+            repeats=_repeats(quick, 10, 2),
+            metadata={"users": 16, "duration_s": 1800.0,
+                      "events": int(len(population_trace.events))},
+        ),
+        Benchmark(
+            name="trace_capture_16node_240s",
+            func=lambda: capture_scenario(scenario),
+            items_per_call=1,
+            unit="runs",
+            repeats=_repeats(quick, 10, 2),
+            metadata={"nodes": 16, "duration_s": 240.0},
+        ),
+        Benchmark(
+            name="trace_replay_16node_240s",
+            func=lambda: replay_trace(captured_trace),
+            items_per_call=1,
+            unit="runs",
+            repeats=_repeats(quick, 10, 2),
+            metadata={"nodes": 16, "duration_s": 240.0,
+                      "sends": int(len(captured_trace.sends()))},
+        ),
+        Benchmark(
+            name="trace_jsonl_roundtrip",
+            func=lambda: Trace.loads(captured_trace.dumps()),
+            items_per_call=len(captured_trace.events),
+            unit="events",
+            repeats=_repeats(quick, 20, 3),
+            metadata={"events": int(len(captured_trace.events)),
+                      "jsonl_bytes": len(jsonl)},
+        ),
+        Benchmark(
+            name="trace_columnar_roundtrip",
+            func=lambda: Trace.from_columns(population_trace.to_columns()),
+            items_per_call=len(population_trace.events),
+            unit="events",
+            repeats=_repeats(quick, 20, 3),
+            metadata={"events": int(len(population_trace.events)),
+                      "arrays": len(columns)},
+        ),
+    ]
+
+
 SUITE_BUILDERS = {
     "fec": fec_suite,
     "ofdm": ofdm_suite,
@@ -370,6 +450,7 @@ SUITE_BUILDERS = {
     "equalizer": equalizer_suite,
     "link": link_suite,
     "net": net_suite,
+    "trace": trace_suite,
 }
 
 
