@@ -141,6 +141,9 @@ def _add_net_scenario_args(parser) -> None:
                         help="traffic horizon in seconds (simulated)")
     parser.add_argument("--destination", default=None,
                         help="fixed destination node (default: random peers)")
+    parser.add_argument("--ttl", type=int, default=8,
+                        help="hop budget per packet copy (raise for large "
+                             "deployments, e.g. 80 for a 1000-node grid)")
     parser.add_argument("--seed", type=int, default=0)
 
 
@@ -161,6 +164,7 @@ def _net_scenario_from_args(args, **forced):
         rate_msgs_per_s=args.rate,
         duration_s=args.duration,
         destination=args.destination,
+        ttl=args.ttl,
         seed=args.seed,
     )
     fields.update(forced)
@@ -183,6 +187,10 @@ def _add_net_parser(subparsers) -> None:
                              "table from the full PHY with this many packets "
                              "per distance (progress/ETA printed) instead of "
                              "replaying the baked lake table")
+    parser.add_argument("--quick", action="store_true",
+                        help="cap the traffic horizon at 30 simulated seconds "
+                             "-- the CI smoke mode for large deployments "
+                             "(e.g. `net --nodes 1000 --quick`)")
     parser.add_argument("--progress", action="store_true",
                         help="print progress/ETA lines while the event queue "
                              "drains (long runs)")
@@ -591,11 +599,13 @@ def _run_net(args) -> int:
     import json
 
     try:
-        scenario = _net_scenario_from_args(
-            args,
+        forced = dict(
             calibration_packets_per_point=args.packets_per_point,
             calibration_progress=args.packets_per_point is not None,
         )
+        if args.quick:
+            forced["duration_s"] = min(args.duration, 30.0)
+        scenario = _net_scenario_from_args(args, **forced)
         simulator = scenario.build_simulator()
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -20,6 +20,7 @@ tier-1 tests.
 
 from __future__ import annotations
 
+import math
 import sys
 import time
 from abc import ABC, abstractmethod
@@ -77,10 +78,26 @@ class LinkModel(ABC):
     ) -> LinkOutcome:
         """Resolve one transmission over ``distance_m``."""
 
+    def deliver_many(
+        self,
+        distances_m: np.ndarray,
+        rng: np.random.Generator,
+        size_bits: int = 16,
+    ) -> list[LinkOutcome]:
+        """Resolve one transmission to each of ``distances_m`` receivers.
+
+        The distances describe a single broadcast's fan-out, resolved in
+        array order.  The base implementation loops over
+        :meth:`deliver`, so every model keeps its exact per-receiver RNG
+        draw sequence; table-driven models override this with a
+        vectorized path that consumes the identical generator stream.
+        """
+        return [self.deliver(float(d), rng, size_bits) for d in distances_m]
+
     def airtime_s(self, size_bits: int, distance_m: float) -> float:
         """Time the channel is occupied by one packet of ``size_bits``."""
         bitrate = self.expected_bitrate_bps(distance_m)
-        if not np.isfinite(bitrate) or bitrate <= 0:
+        if not math.isfinite(bitrate) or bitrate <= 0:
             bitrate = self.nominal_bitrate_bps
         return DEFAULT_OVERHEAD_S + size_bits / bitrate
 
@@ -249,11 +266,61 @@ class CalibratedLink(LinkModel):
 
     name = "calibrated"
 
+    #: Cap on the per-distance interpolation memo.  Static topologies see
+    #: a handful of distinct hop distances; mobility churns new ones each
+    #: step, so the memo is bounded to stay O(1) memory.
+    _LOOKUP_CACHE_MAX = 65536
+
     def __init__(self, calibration: LinkCalibration = DEFAULT_LAKE_CALIBRATION) -> None:
         self.calibration = calibration
+        # Array views of the table columns so the batched fan-out path
+        # interpolates without re-converting the tuples per broadcast.
+        self._table_distances = np.asarray(calibration.distances_m, dtype=float)
+        self._table_per = np.asarray(calibration.packet_error_rate, dtype=float)
+        self._table_bitrate = np.asarray(calibration.bitrate_bps, dtype=float)
+        #: distance -> (per, bitrate, delivered-outcome, dropped-outcome).
+        #: Hop distances repeat constantly (static grids have a handful of
+        #: values), np.interp costs microseconds per call, and LinkOutcome
+        #: is frozen -- so both the interpolation *and* the two possible
+        #: outcome objects per distance are memoized.
+        self._lookup_cache: dict[
+            float, tuple[float, float, LinkOutcome, LinkOutcome]
+        ] = {}
+        #: (size_bits, distance) -> airtime; same bounded-memo rationale.
+        self._airtime_cache: dict[tuple[int, float], float] = {}
+
+    def _lookup(self, distance_m: float) -> tuple[float, float, LinkOutcome, LinkOutcome]:
+        """Memoized ``(per, bitrate, ok, dropped)`` at ``distance_m``."""
+        cached = self._lookup_cache.get(distance_m)
+        if cached is None:
+            per = float(np.interp(distance_m, self._table_distances, self._table_per))
+            bitrate = float(
+                np.interp(distance_m, self._table_distances, self._table_bitrate)
+            )
+            cached = (
+                per,
+                bitrate,
+                LinkOutcome(True, bitrate, per),
+                LinkOutcome(False, bitrate, per),
+            )
+            if len(self._lookup_cache) >= self._LOOKUP_CACHE_MAX:
+                self._lookup_cache.clear()
+            self._lookup_cache[distance_m] = cached
+        return cached
 
     def expected_bitrate_bps(self, distance_m: float) -> float:
-        return self.calibration.bitrate_at(distance_m)
+        return self._lookup(float(distance_m))[1]
+
+    def airtime_s(self, size_bits: int, distance_m: float) -> float:
+        """Memoized airtime (deterministic per size/distance pair)."""
+        key = (size_bits, distance_m)
+        cached = self._airtime_cache.get(key)
+        if cached is None:
+            cached = LinkModel.airtime_s(self, size_bits, distance_m)
+            if len(self._airtime_cache) >= self._LOOKUP_CACHE_MAX:
+                self._airtime_cache.clear()
+            self._airtime_cache[key] = cached
+        return cached
 
     def deliver(
         self,
@@ -262,13 +329,26 @@ class CalibratedLink(LinkModel):
         size_bits: int = 16,
     ) -> LinkOutcome:
         del size_bits  # the table is per-packet; payload size sets airtime only
-        per = self.calibration.per_at(distance_m)
-        delivered = bool(rng.random() >= per)
-        return LinkOutcome(
-            delivered=delivered,
-            bitrate_bps=self.calibration.bitrate_at(distance_m),
-            packet_error_rate=per,
-        )
+        per, _, ok, dropped = self._lookup(float(distance_m))
+        return ok if rng.random() >= per else dropped
+
+    def deliver_many(
+        self,
+        distances_m: np.ndarray,
+        rng: np.random.Generator,
+        size_bits: int = 16,
+    ) -> list[LinkOutcome]:
+        del size_bits  # the table is per-packet; payload size sets airtime only
+        lookup = self._lookup
+        resolved = [lookup(float(d)) for d in distances_m]
+        # One batched draw consumes the generator stream exactly as the
+        # per-receiver scalar ``rng.random()`` loop would, so outcomes are
+        # bit-identical to LinkModel.deliver_many.
+        draws = rng.random(len(resolved))
+        return [
+            entry[2] if draw >= entry[0] else entry[3]
+            for draw, entry in zip(draws, resolved)
+        ]
 
 
 class PhysicalLink(LinkModel):

@@ -5,11 +5,19 @@ node for broadcasts) plus network-wide counters, aggregated into the
 numbers the evaluation reports: packet delivery ratio, end-to-end
 latency, hop counts, goodput and an energy proxy based on the acoustic
 modem power figures the underwater-routing literature uses.
+
+Storage is *columnar*: payload fates land in preallocated numpy arenas
+(uid/created/delivered/hop plus interned string ids) grown by doubling,
+so million-message runs append without allocating a Python object per
+message and the latency/hop aggregates reduce over the arrays directly.
+:class:`DeliveryRecord` remains the row-level interchange type -- the
+:attr:`NetworkMetrics.records` property materializes rows on demand for
+observers and reports that want objects.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -18,6 +26,9 @@ import numpy as np
 #: the energy *proxy*, not for a hardware-accurate budget.
 TX_POWER_W = 2.8
 RX_POWER_W = 1.3
+
+#: Initial arena capacity; grows by doubling.
+_INITIAL_CAPACITY = 64
 
 
 @dataclass(frozen=True)
@@ -60,46 +71,138 @@ class DeliveryRecord:
         return self.delivered_s - self.created_s if self.delivered else float("nan")
 
 
-@dataclass
 class NetworkMetrics:
-    """Aggregate statistics of one network run."""
+    """Aggregate statistics of one network run (columnar storage)."""
 
-    records: list[DeliveryRecord] = field(default_factory=list)
-    transmissions: int = 0
-    collisions: int = 0
-    link_drops: int = 0
-    duplicates_suppressed: int = 0
-    ttl_drops: int = 0
-    routing_voids: int = 0
-    tx_airtime_s: float = 0.0
-    rx_airtime_s: float = 0.0
+    def __init__(
+        self,
+        records: list[DeliveryRecord] | None = None,
+        transmissions: int = 0,
+        collisions: int = 0,
+        link_drops: int = 0,
+        duplicates_suppressed: int = 0,
+        ttl_drops: int = 0,
+        routing_voids: int = 0,
+        tx_airtime_s: float = 0.0,
+        rx_airtime_s: float = 0.0,
+    ) -> None:
+        self.transmissions = transmissions
+        self.collisions = collisions
+        self.link_drops = link_drops
+        self.duplicates_suppressed = duplicates_suppressed
+        self.ttl_drops = ttl_drops
+        self.routing_voids = routing_voids
+        self.tx_airtime_s = tx_airtime_s
+        self.rx_airtime_s = rx_airtime_s
+        self._count = 0
+        self._uid = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._created_s = np.empty(_INITIAL_CAPACITY, dtype=float)
+        self._delivered_s = np.empty(_INITIAL_CAPACITY, dtype=float)
+        self._hops = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._source_id = np.empty(_INITIAL_CAPACITY, dtype=np.int32)
+        self._dest_id = np.empty(_INITIAL_CAPACITY, dtype=np.int32)
+        self._kind_id = np.empty(_INITIAL_CAPACITY, dtype=np.int32)
+        self._strings: list[str] = []
+        self._string_ids: dict[str, int] = {}
+        self._rows: list[DeliveryRecord] | None = None
+        for record in records or ():
+            self.add(record)
+
+    # -------------------------------------------------------------- recording
+    def _intern(self, value: str) -> int:
+        interned = self._string_ids.get(value)
+        if interned is None:
+            interned = len(self._strings)
+            self._string_ids[value] = interned
+            self._strings.append(value)
+        return interned
+
+    def _grow(self) -> None:
+        for name in (
+            "_uid", "_created_s", "_delivered_s", "_hops",
+            "_source_id", "_dest_id", "_kind_id",
+        ):
+            arena = getattr(self, name)
+            setattr(self, name, np.concatenate([arena, np.empty_like(arena)]))
+
+    def record_delivery(
+        self,
+        uid: int,
+        source: str,
+        destination: str,
+        created_s: float,
+        delivered_s: float = float("nan"),
+        hop_count: int = 0,
+        kind: str = "data",
+    ) -> None:
+        """Record the fate of one payload (columnar fast path)."""
+        row = self._count
+        if row == self._uid.shape[0]:
+            self._grow()
+        self._uid[row] = uid
+        self._created_s[row] = created_s
+        self._delivered_s[row] = delivered_s
+        self._hops[row] = hop_count
+        self._source_id[row] = self._intern(source)
+        self._dest_id[row] = self._intern(destination)
+        self._kind_id[row] = self._intern(kind)
+        self._count = row + 1
+        self._rows = None
 
     def add(self, record: DeliveryRecord) -> None:
         """Record the fate of one payload."""
-        self.records.append(record)
+        self.record_delivery(
+            record.uid,
+            record.source,
+            record.destination,
+            record.created_s,
+            record.delivered_s,
+            record.hop_count,
+            record.kind,
+        )
+
+    @property
+    def records(self) -> list[DeliveryRecord]:
+        """Row-object view of the columnar store (materialized on demand)."""
+        if self._rows is None:
+            strings = self._strings
+            self._rows = [
+                DeliveryRecord(
+                    uid=int(self._uid[row]),
+                    source=strings[self._source_id[row]],
+                    destination=strings[self._dest_id[row]],
+                    created_s=float(self._created_s[row]),
+                    delivered_s=float(self._delivered_s[row]),
+                    hop_count=int(self._hops[row]),
+                    kind=strings[self._kind_id[row]],
+                )
+                for row in range(self._count)
+            ]
+        return self._rows
 
     # -------------------------------------------------------------- delivery
     @property
     def offered(self) -> int:
         """Payloads that entered the network."""
-        return len(self.records)
+        return self._count
 
     @property
     def delivered(self) -> int:
         """Payloads that reached their destination."""
-        return sum(r.delivered for r in self.records)
+        return int(np.count_nonzero(np.isfinite(self._delivered_s[: self._count])))
 
     @property
     def packet_delivery_ratio(self) -> float:
         """Delivered over offered (PDR)."""
-        if not self.records:
+        if not self._count:
             return float("nan")
         return self.delivered / self.offered
 
     # --------------------------------------------------------------- latency
     def latencies_s(self) -> np.ndarray:
         """End-to-end latencies of delivered payloads."""
-        values = np.array([r.latency_s for r in self.records], dtype=float)
+        count = self._count
+        values = self._delivered_s[:count] - self._created_s[:count]
         return values[np.isfinite(values)]
 
     @property
@@ -140,9 +243,9 @@ class NetworkMetrics:
     # ------------------------------------------------------------------ hops
     def hop_counts(self) -> np.ndarray:
         """Hop counts of delivered payloads."""
-        return np.array(
-            [r.hop_count for r in self.records if r.delivered], dtype=int
-        )
+        count = self._count
+        mask = np.isfinite(self._delivered_s[:count])
+        return self._hops[:count][mask].astype(int)
 
     @property
     def mean_hop_count(self) -> float:

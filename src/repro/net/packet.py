@@ -8,7 +8,7 @@ end-to-end packet (flooding dedup and delivery accounting key on it).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
@@ -68,4 +68,12 @@ class NetPacket:
 
     def forwarded(self, via: str) -> "NetPacket":
         """Copy of this packet after being relayed by ``via``."""
-        return replace(self, ttl=self.ttl - 1, path=self.path + (via,))
+        # One per-hop copy per transmission makes this a hot path:
+        # cloning the field dict directly skips both dataclasses.replace
+        # (which re-introspects the field list per call) and the
+        # generated __init__'s per-field frozen setattr.
+        clone = object.__new__(NetPacket)
+        clone.__dict__.update(
+            self.__dict__, ttl=self.ttl - 1, path=self.path + (via,)
+        )
+        return clone

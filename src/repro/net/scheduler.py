@@ -128,6 +128,14 @@ class Scheduler:
     def run(self, until_s: float | None = None, max_events: int | None = None) -> int:
         """Process events in time order.
 
+        Pops directly off the heap (no per-event re-entry through
+        :meth:`step`, which would scan for cancelled tops a second time)
+        and drains *cohorts* of same-time events in one sweep: the heap
+        is consulted once per distinct timestamp, not once per event.
+        Events an earlier cohort member schedules for the same instant
+        carry larger sequence numbers and form the next cohort, so
+        execution order is identical to the one-at-a-time loop.
+
         Parameters
         ----------
         until_s:
@@ -141,17 +149,54 @@ class Scheduler:
         int
             Number of events processed by this call.
         """
+        heap = self._heap
         processed = 0
-        while self._heap:
+        while heap:
             if max_events is not None and processed >= max_events:
                 break
-            # Peek past lazily-cancelled entries to find the real next event.
-            self._discard_cancelled_top()
-            if not self._heap:
-                break
-            if until_s is not None and self._heap[0][0] > until_s:
+            top = heap[0][2]
+            if top.cancelled:
+                heapq.heappop(heap)
+                top._done = True
+                self._num_cancelled_pending -= 1
+                continue
+            time_s = heap[0][0]
+            if until_s is not None and time_s > until_s:
                 self._now_s = max(self._now_s, float(until_s))
                 break
-            if self.step():
+            first = heapq.heappop(heap)[2]
+            if not (heap and heap[0][0] == time_s):
+                # Lone event at this instant (the common case under
+                # jittered continuous time): dispatch without building a
+                # cohort list.
+                self._now_s = time_s
+                first._done = True
+                self._num_processed += 1
                 processed += 1
+                first.action()
+                continue
+            # Collect the cohort scheduled for exactly this instant,
+            # bounded by the remaining event budget.
+            budget = None if max_events is None else max_events - processed
+            cohort: list[Event] = [first]
+            while heap and heap[0][0] == time_s:
+                if budget is not None and len(cohort) >= budget:
+                    break
+                event = heapq.heappop(heap)[2]
+                if event.cancelled:
+                    event._done = True
+                    self._num_cancelled_pending -= 1
+                    continue
+                cohort.append(event)
+            self._now_s = time_s
+            for event in cohort:
+                if event.cancelled:
+                    # Cancelled by an earlier event in this same cohort.
+                    event._done = True
+                    self._num_cancelled_pending -= 1
+                    continue
+                event._done = True
+                self._num_processed += 1
+                processed += 1
+                event.action()
         return processed

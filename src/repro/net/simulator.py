@@ -204,9 +204,19 @@ class NetworkSimulator:
         self.forward_jitter_s = float(forward_jitter_s)
         self.mobility_interval_s = mobility_interval_s
         self.observer = observer if observer is not None else NetObserver()
+        # Delivery/drop hooks need row objects; without an observer the
+        # metrics arena is appended to directly (no per-payload object).
+        self._observed = type(self.observer) is not NetObserver
         self._rng = ensure_rng(seed)
         self._scheduler = Scheduler()
         self._nodes = {name: _NodeState(name) for name in topology.names}
+        # Per-sender fan-out cache: the neighbour table's receiver states
+        # in table order, keyed by table identity (a mobility step yields
+        # a new table object, invalidating the entry).
+        self._fanout: dict[str, tuple[object, list[_NodeState]]] = {}
+        # (sender, target, size_bits) -> cached unicast transmit plan
+        # (see _transmit); validated against the topology version.
+        self._txplans: dict[tuple[str, str, int], tuple] = {}
         self._uids = itertools.count()
         self._metrics = NetworkMetrics()
         self._pending: dict[tuple[str, int], _PendingDelivery] = {}
@@ -344,15 +354,21 @@ class NetworkSimulator:
     def _finalize_lost(self) -> None:
         now = self._scheduler.now_s
         for pending in self._pending.values():
-            record = DeliveryRecord(
-                uid=pending.uid,
-                source=pending.source,
-                destination=pending.destination,
-                created_s=pending.created_s,
-                kind=pending.kind,
-            )
-            self._metrics.add(record)
-            self.observer.on_drop(record, now)
+            if self._observed:
+                record = DeliveryRecord(
+                    uid=pending.uid,
+                    source=pending.source,
+                    destination=pending.destination,
+                    created_s=pending.created_s,
+                    kind=pending.kind,
+                )
+                self._metrics.add(record)
+                self.observer.on_drop(record, now)
+            else:
+                self._metrics.record_delivery(
+                    pending.uid, pending.source, pending.destination,
+                    pending.created_s, kind=pending.kind,
+                )
         self._pending.clear()
 
     # -------------------------------------------------------------- app layer
@@ -438,7 +454,7 @@ class NetworkSimulator:
         # deterministic timers two synchronized losers would re-collide on
         # every retry forever.
         jitter = float(self._rng.uniform(0.0, 0.25 * self.arq.timeout_s))
-        deadline = max(deadline, self._scheduler.now_s) + jitter
+        deadline = max(deadline, self._scheduler._now_s) + jitter
         self._flow_timers[key] = self._scheduler.at(
             deadline, lambda: self._on_flow_timeout(key)
         )
@@ -481,30 +497,42 @@ class NetworkSimulator:
         Hidden terminals -- nodes out of range of each other -- cannot
         hear one another and may still collide at a common receiver.
         """
-        now = self._scheduler.now_s
+        scheduler = self._scheduler
+        now = scheduler._now_s
         if node.tx_busy_until_s > now:
             return  # _on_tx_done will call back
-        if self.collisions and node.queue:
-            node.receptions = [entry for entry in node.receptions if entry[1] > now]
-            audible = [
-                end for start, end, _ in node.receptions if start <= now < end
-            ]
-            if audible:
-                defer = max(audible) + float(self._rng.uniform(0.0, 0.08))
-                self._scheduler.at(defer, lambda: self._service(node))
+        queue = node.queue
+        if self.collisions and queue:
+            # Find the latest-ending audible reception without building a
+            # list (this runs once per queue touch).  Expired intervals
+            # (end <= now) can never test audible; the transmit fan-out
+            # compacts them away, so the list stays short here.
+            busiest = None
+            for start, end, _ in node.receptions:
+                if start <= now < end and (busiest is None or end > busiest):
+                    busiest = end
+            if busiest is not None:
+                defer = busiest + float(self._rng.uniform(0.0, 0.08))
+                scheduler.at(defer, lambda: self._service(node))
                 return
-        while node.queue:
-            packet = node.queue.popleft()
+        metrics = self._metrics
+        routing = self.routing
+        topology = self.topology
+        while queue:
+            packet = queue.popleft()
             if packet.ttl <= 0:
-                self._metrics.ttl_drops += 1
+                metrics.ttl_drops += 1
                 continue
-            targets = self._targets_for(node.name, packet)
+            # _targets_for, inlined (this loop runs once per queued packet).
+            if packet.destination == BROADCAST:
+                targets = self._broadcast_routing.next_hops(
+                    node.name, packet, topology
+                )
+            else:
+                targets = routing.next_hops(node.name, packet, topology)
             if not targets:
-                if (
-                    packet.destination != BROADCAST
-                    and self.routing.reports_voids
-                ):
-                    self._metrics.routing_voids += 1
+                if packet.destination != BROADCAST and routing.reports_voids:
+                    metrics.routing_voids += 1
                 continue
             self._transmit(node, packet, targets)
             return
@@ -512,80 +540,169 @@ class NetworkSimulator:
     def _transmit(
         self, node: _NodeState, packet: NetPacket, targets: tuple[str, ...]
     ) -> None:
-        now = self._scheduler.now_s
+        scheduler = self._scheduler
+        now = scheduler._now_s
         copy = packet.forwarded(node.name)
-        farthest = max(self.topology.distance_m(node.name, t) for t in targets)
-        airtime = self.link_model.airtime_s(packet.size_bits, farthest)
+        link_model = self.link_model
+        topology = self.topology
+        metrics = self._metrics
+        # ARQ traffic re-transmits the same (sender, relay, size) hop over
+        # and over, so the geometry-derived parts of a unicast transmit --
+        # receiver states in table order, delays, the target's slot and
+        # distance, the airtime -- are cached as a *plan* validated
+        # against the topology version.  Only the delivery draw (which
+        # must consume the RNG stream per transmission) stays live.
+        plan = None
+        if len(targets) == 1:
+            plan_key = (node.name, targets[0], packet.size_bits)
+            plan = self._txplans.get(plan_key)
+            if plan is not None and plan[0] != topology._version:
+                plan = None
+        else:
+            plan_key = None
+        if plan is not None:
+            _, receivers, delays, target_slot, farthest, airtime = plan
+            outcome_row: list = [None] * len(receivers)
+            outcome_row[target_slot] = link_model.deliver(
+                farthest, self._rng, size_bits=packet.size_bits
+            )
+        else:
+            table = topology.neighbor_table(node.name)
+            slot = table.slot
+            distances = table.distances_m
+            names = table.names
+            delays = table.delays_list
+            fanout = self._fanout.get(node.name)
+            if fanout is None or fanout[0] is not table:
+                nodes = self._nodes
+                receivers = [nodes[name] for name in names]
+                self._fanout[node.name] = (table, receivers)
+            else:
+                receivers = fanout[1]
+            outcome_row = [None] * len(names)
+            target_slot = None
+            if plan_key is not None:
+                # Routing targets are in-range neighbours, so the cached
+                # table answers their distances; the scalar fallback only
+                # covers a target that left range between route choice and
+                # transmission.  A single scalar deliver consumes the RNG
+                # stream identically to a batch of one.
+                target = targets[0]
+                target_slot = slot.get(target)
+                if target_slot is not None:
+                    farthest = float(distances[target_slot])
+                    outcome_row[target_slot] = link_model.deliver(
+                        farthest, self._rng, size_bits=packet.size_bits
+                    )
+                else:
+                    farthest = topology.distance_m(node.name, target)
+            else:
+                target_set = set(targets)
+                farthest = max(
+                    float(distances[slot[t]])
+                    if t in slot
+                    else topology.distance_m(node.name, t)
+                    for t in targets
+                )
+                target_slots = [
+                    position for position, name in enumerate(names)
+                    if name in target_set
+                ]
+                if target_slots:
+                    resolved = link_model.deliver_many(
+                        distances[target_slots], self._rng,
+                        size_bits=packet.size_bits,
+                    )
+                    for position, outcome in zip(target_slots, resolved):
+                        outcome_row[position] = outcome
+            # airtime_s draws no RNG and is a pure function of
+            # (size, distance) for every link model, so the plan may
+            # carry its value.
+            airtime = link_model.airtime_s(packet.size_bits, farthest)
+            if target_slot is not None:
+                self._txplans[plan_key] = (
+                    topology._version, receivers, delays, target_slot,
+                    farthest, airtime,
+                )
         node.tx_busy_until_s = now + airtime
-        self._metrics.transmissions += 1
-        self._metrics.tx_airtime_s += airtime
-        self._scheduler.at(node.tx_busy_until_s, lambda: self._service(node))
+        metrics.transmissions += 1
+        metrics.tx_airtime_s += airtime
+        scheduler.at(node.tx_busy_until_s, lambda: self._service(node))
         # Acoustic transmissions are local broadcasts: *every* in-range
         # neighbour hears the energy.  Routing targets may capture the
         # packet; everyone else just gets jammed for its duration (which is
         # what carrier sense defers on and hidden terminals collide with).
-        target_set = set(targets)
-        for neighbor in self.topology.neighbors(node.name):
-            distance = self.topology.distance_m(node.name, neighbor)
-            start = now + self.topology.propagation_delay_s(node.name, neighbor)
+        collisions_on = self.collisions
+        # Per-neighbour accumulation (not ``airtime * k``): the committed
+        # energy proxy is compared bit-for-bit in fixture replays, and
+        # float addition order changes the low bits.
+        rx_airtime = metrics.rx_airtime_s
+        for receiver, delay, outcome in zip(receivers, delays, outcome_row):
+            start = now + delay
             end = start + airtime
-            self._metrics.rx_airtime_s += airtime
+            rx_airtime += airtime
             deliverable = None
-            if neighbor in target_set:
-                outcome = self.link_model.deliver(
-                    distance, self._rng, size_bits=packet.size_bits
-                )
+            if outcome is not None:
                 if outcome.delivered:
                     deliverable = copy
                 else:
-                    self._metrics.link_drops += 1
-            self._schedule_reception(self._nodes[neighbor], deliverable, start, end)
-
-    def _schedule_reception(
-        self,
-        receiver: _NodeState,
-        packet: NetPacket | None,
-        start_s: float,
-        end_s: float,
-    ) -> None:
-        """Register one arriving transmission at ``receiver``.
-
-        ``packet=None`` means the energy arrives but carries nothing for
-        this node (not a routing target, or the link model dropped it);
-        the interval still participates in carrier sensing and collisions.
-        """
-        now = self._scheduler.now_s
-        if not self.collisions:
-            if packet is not None:
-                self._scheduler.at(
-                    end_s, lambda: self._on_receive(receiver, packet, start_s)
-                )
-            return
-        receiver.receptions = [
-            entry for entry in receiver.receptions if entry[1] > now
-        ]
-        collided = False
-        for entry in receiver.receptions:
-            other_start, other_end, other_event = entry
-            if start_s < other_end and other_start < end_s:
-                collided = True
-                if other_event is not None and not other_event.cancelled:
-                    self._scheduler.cancel(other_event)
-                    entry[2] = None
-                    self._metrics.collisions += 1
-        event = None
-        if packet is not None:
-            if receiver.tx_busy_until_s > start_s:
-                # Half duplex: a node transmitting when the packet starts
-                # arriving cannot capture it (energy still jams).
-                self._metrics.collisions += 1
-            elif collided:
-                self._metrics.collisions += 1
-            else:
-                event = self._scheduler.at(
-                    end_s, lambda: self._on_receive(receiver, packet, start_s)
-                )
-        receiver.receptions.append([start_s, end_s, event])
+                    metrics.link_drops += 1
+            # Register the arrival at the receiver (inlined reception
+            # scheduling -- this fan-out loop dominates the transmit
+            # profile).  ``deliverable=None`` means the energy arrives but
+            # carries nothing for this node (not a routing target, or the
+            # link model dropped it); the interval still participates in
+            # carrier sensing and collisions.
+            if not collisions_on:
+                if deliverable is not None:
+                    scheduler.at(
+                        end,
+                        lambda r=receiver, p=deliverable, s=start: (
+                            self._on_receive(r, p, s)
+                        ),
+                    )
+                continue
+            receptions = receiver.receptions
+            collided = False
+            # One pass does double duty: expired intervals (end <= now,
+            # which can never overlap an arrival starting at or after now)
+            # are compacted out in place, and live ones are tested for
+            # overlap.  Lists therefore stay at live-interval size --
+            # typically zero to two entries.
+            write = 0
+            for entry in receptions:
+                entry_end = entry[1]
+                if entry_end <= now:
+                    continue
+                receptions[write] = entry
+                write += 1
+                if start < entry_end and entry[0] < end:
+                    collided = True
+                    other_event = entry[2]
+                    if other_event is not None and not other_event.cancelled:
+                        scheduler.cancel(other_event)
+                        entry[2] = None
+                        metrics.collisions += 1
+            if write != len(receptions):
+                del receptions[write:]
+            event = None
+            if deliverable is not None:
+                if receiver.tx_busy_until_s > start:
+                    # Half duplex: a node transmitting when the packet
+                    # starts arriving cannot capture it (energy still
+                    # jams).
+                    metrics.collisions += 1
+                elif collided:
+                    metrics.collisions += 1
+                else:
+                    event = scheduler.at(
+                        end,
+                        lambda r=receiver, p=deliverable, s=start: (
+                            self._on_receive(r, p, s)
+                        ),
+                    )
+            receptions.append([start, end, event])
+        metrics.rx_airtime_s = rx_airtime
 
     # --------------------------------------------------------------- receiving
     def _on_receive(
@@ -602,7 +719,7 @@ class NetworkSimulator:
             self._metrics.duplicates_suppressed += 1
             return
         node.seen_uids.add(packet.uid)
-        now = self._scheduler.now_s
+        now = self._scheduler._now_s
         is_for_me = packet.destination == node.name
         is_broadcast = packet.destination == BROADCAST
         if is_broadcast:
@@ -624,8 +741,11 @@ class NetworkSimulator:
     def _relay(self, node: _NodeState, packet: NetPacket) -> None:
         """Re-queue a packet for forwarding, after the de-sync jitter."""
         if self.forward_jitter_s > 0.0:
+            scheduler = self._scheduler
             delay = float(self._rng.uniform(0.0, self.forward_jitter_s))
-            self._scheduler.after(delay, lambda: self._enqueue(node.name, packet))
+            scheduler.at(
+                scheduler._now_s + delay, lambda: self._enqueue(node.name, packet)
+            )
         else:
             self._enqueue(node.name, packet)
 
@@ -635,17 +755,23 @@ class NetworkSimulator:
         pending = self._pending.pop((node_name, uid), None)
         if pending is None:
             return
-        record = DeliveryRecord(
-            uid=uid,
-            source=pending.source,
-            destination=pending.destination,
-            created_s=pending.created_s,
-            delivered_s=now,
-            hop_count=hop_count,
-            kind=pending.kind,
-        )
-        self._metrics.add(record)
-        self.observer.on_delivery(record)
+        if self._observed:
+            record = DeliveryRecord(
+                uid=uid,
+                source=pending.source,
+                destination=pending.destination,
+                created_s=pending.created_s,
+                delivered_s=now,
+                hop_count=hop_count,
+                kind=pending.kind,
+            )
+            self._metrics.add(record)
+            self.observer.on_delivery(record)
+        else:
+            self._metrics.record_delivery(
+                uid, pending.source, pending.destination, pending.created_s,
+                now, hop_count, pending.kind,
+            )
 
     def _on_data_segment(
         self, node: _NodeState, packet: NetPacket, now: float

@@ -8,6 +8,18 @@ rough per-pair SNR derived from the same transmission-loss physics the
 channel simulator uses.  Mobility is modelled as per-node velocities plus
 a site-current jitter applied in discrete steps, mirroring how the
 single-link :mod:`repro.channel.motion` models drift within a packet.
+
+The geometry core is *array-backed*: positions and velocities live in
+persistent ``(N, 3)`` float64 arrays behind an interned name<->index
+table, neighbour lookup runs through a spatial-hash grid (cell size =
+``comm_range_m``, so a 3x3 cell neighbourhood covers the range ball) and
+every node's active neighbour set is cached as a :class:`NeighborTable`
+of aligned distance/delay arrays.  Mobility bumps a version counter --
+cached tables invalidate lazily, O(1), instead of a dict-wide clear --
+and only moves nodes between grid buckets when they actually cross a
+cell boundary, so a 1000-node deployment pays O(changed) per step, not
+O(N^2).  All distances are computed with the same operation order as the
+original per-node loops, so results are bit-identical to the scalar path.
 """
 
 from __future__ import annotations
@@ -21,6 +33,12 @@ from repro.channel.physics import SOUND_SPEED_M_S, transmission_loss_db
 from repro.environments.sites import LAKE, Site
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import require_positive
+
+#: Draw-order modes for :meth:`AcousticNetTopology.step_mobility`.
+MOBILITY_DRAW_MODES = ("batched", "legacy")
+
+#: Initial node-array capacity; grows by doubling.
+_INITIAL_CAPACITY = 8
 
 
 @dataclass(frozen=True)
@@ -40,6 +58,39 @@ class NodePosition:
         )
 
 
+class NeighborTable:
+    """The cached active neighbour set of one node.
+
+    All fields are aligned: slot ``i`` describes the ``i``-th in-range
+    neighbour, sorted nearest first (ties broken by name, matching the
+    original per-node sorted scan).  ``distances_m``/``delays_s`` are
+    read-only float64 views the simulator and routing consume without
+    re-deriving geometry per packet; ``delays_list`` is the same delay
+    column as plain floats so the event scheduler never sees numpy
+    scalars.
+    """
+
+    __slots__ = ("names", "indices", "distances_m", "delays_s", "delays_list", "slot", "_snr_db")
+
+    def __init__(
+        self,
+        names: tuple[str, ...],
+        indices: np.ndarray,
+        distances_m: np.ndarray,
+        delays_s: np.ndarray,
+    ) -> None:
+        self.names = names
+        self.indices = indices
+        self.distances_m = distances_m
+        self.delays_s = delays_s
+        self.delays_list = delays_s.tolist()
+        self.slot = {name: position for position, name in enumerate(names)}
+        self._snr_db: dict[float, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+
 class AcousticNetTopology:
     """Positions and acoustic geometry of an N-node deployment.
 
@@ -50,18 +101,50 @@ class AcousticNetTopology:
     comm_range_m:
         Maximum distance at which two nodes are considered neighbours.
         Defaults to the site's usable range.
+    mobility_draws:
+        ``"batched"`` (default) draws every node's mobility jitter in one
+        ``(N, 2)`` call; ``"legacy"`` replays the original two scalar
+        draws per node.  Both consume the generator stream identically
+        (numpy fills arrays element by element), so they are
+        bit-identical -- the legacy mode is the committed escape hatch
+        that keeps old VALID envelopes and trace fixtures reproducible
+        even if the batched path ever changes shape.
     """
 
-    def __init__(self, site: Site = LAKE, comm_range_m: float | None = None) -> None:
+    def __init__(
+        self,
+        site: Site = LAKE,
+        comm_range_m: float | None = None,
+        mobility_draws: str = "batched",
+    ) -> None:
         self.site = site
         range_m = site.max_range_m if comm_range_m is None else float(comm_range_m)
         require_positive(range_m, "comm_range_m")
+        if mobility_draws not in MOBILITY_DRAW_MODES:
+            raise ValueError(
+                f"mobility_draws must be one of {MOBILITY_DRAW_MODES}, "
+                f"got {mobility_draws!r}"
+            )
         self.comm_range_m = range_m
-        self._positions: dict[str, NodePosition] = {}
-        self._velocities: dict[str, tuple[float, float, float]] = {}
-        # Per-node neighbour lists, rebuilt lazily after any position
-        # change; neighbour lookup sits on the per-transmission hot path.
-        self._neighbor_cache: dict[str, tuple[str, ...]] = {}
+        self.mobility_draws = mobility_draws
+        self._count = 0
+        self._names: list[str] = []
+        self._index: dict[str, int] = {}
+        self._xyz = np.empty((_INITIAL_CAPACITY, 3), dtype=float)
+        self._vel = np.empty((_INITIAL_CAPACITY, 3), dtype=float)
+        self._names_tuple: tuple[str, ...] | None = ()
+        #: Name array for vectorized tie-breaking; rebuilt lazily.
+        self._name_keys: np.ndarray | None = None
+        #: Spatial hash: (cell_x, cell_y) -> list of node indices.  Built
+        #: lazily on first neighbour query; nodes move between buckets
+        #: only when mobility carries them across a cell boundary.
+        self._buckets: dict[tuple[int, int], list[int]] | None = None
+        self._cells: np.ndarray | None = None
+        #: Geometry version; bumped on any position change.  Cached
+        #: neighbour tables carry the version they were built at, so
+        #: invalidation is an O(1) counter bump, not a dict clear.
+        self._version = 0
+        self._tables: dict[str, tuple[int, NeighborTable]] = {}
 
     # ------------------------------------------------------------------ nodes
     def add_node(
@@ -73,38 +156,78 @@ class AcousticNetTopology:
         velocity_m_s: tuple[float, float, float] = (0.0, 0.0, 0.0),
     ) -> None:
         """Place a node; ``velocity_m_s`` drives :meth:`step_mobility`."""
-        if name in self._positions:
+        if name in self._index:
             raise ValueError(f"node {name!r} already exists")
-        self._positions[name] = NodePosition(
-            float(x_m), float(y_m), self._clamp_depth(depth_m)
-        )
-        self._velocities[name] = tuple(float(v) for v in velocity_m_s)
-        self._neighbor_cache.clear()
+        index = self._count
+        if index == self._xyz.shape[0]:
+            self._xyz = np.concatenate([self._xyz, np.empty_like(self._xyz)])
+            self._vel = np.concatenate([self._vel, np.empty_like(self._vel)])
+            if self._cells is not None:
+                self._cells = np.concatenate([self._cells, np.empty_like(self._cells)])
+        self._xyz[index] = (float(x_m), float(y_m), self._clamp_depth(depth_m))
+        self._vel[index] = tuple(float(v) for v in velocity_m_s)
+        self._names.append(name)
+        self._index[name] = index
+        self._count = index + 1
+        self._names_tuple = None
+        self._name_keys = None
+        if self._buckets is not None:
+            cell = self._cell_of(index)
+            self._cells[index] = cell
+            self._buckets.setdefault(cell, []).append(index)
+        self._version += 1
 
     @property
     def names(self) -> tuple[str, ...]:
         """Node names in insertion order."""
-        return tuple(self._positions)
+        if self._names_tuple is None:
+            self._names_tuple = tuple(self._names)
+        return self._names_tuple
 
     @property
     def num_nodes(self) -> int:
         """Number of nodes."""
-        return len(self._positions)
+        return self._count
+
+    @property
+    def version(self) -> int:
+        """Geometry version; changes whenever any position changes.
+
+        Consumers (neighbour tables, routing memos) cache derived state
+        against this counter instead of subscribing to invalidation.
+        """
+        return self._version
 
     def __contains__(self, name: str) -> bool:
-        return name in self._positions
+        return name in self._index
+
+    def index_of(self, name: str) -> int:
+        """Array index of ``name`` in the position/velocity arrays."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise KeyError(f"unknown node {name!r}") from None
 
     def position(self, name: str) -> NodePosition:
         """Current position of ``name``."""
-        try:
-            return self._positions[name]
-        except KeyError:
-            raise KeyError(f"unknown node {name!r}") from None
+        row = self._xyz[self.index_of(name)]
+        return NodePosition(float(row[0]), float(row[1]), float(row[2]))
+
+    def positions_m(self) -> np.ndarray:
+        """Read-only ``(N, 3)`` view of all positions (x, y, depth)."""
+        view = self._xyz[: self._count]
+        view.flags.writeable = False
+        return view
 
     # --------------------------------------------------------------- geometry
     def distance_m(self, a: str, b: str) -> float:
         """3-D distance between two nodes."""
-        return self.position(a).distance_to(self.position(b))
+        xyz = self._xyz
+        pa = xyz[self.index_of(a)]
+        pb = xyz[self.index_of(b)]
+        return math.sqrt(
+            (pa[0] - pb[0]) ** 2 + (pa[1] - pb[1]) ** 2 + (pa[2] - pb[2]) ** 2
+        )
 
     def propagation_delay_s(self, a: str, b: str) -> float:
         """Acoustic propagation delay between two nodes."""
@@ -116,20 +239,33 @@ class AcousticNetTopology:
 
     def neighbors(self, name: str) -> tuple[str, ...]:
         """Names of all nodes within range of ``name``, nearest first."""
-        cached = self._neighbor_cache.get(name)
-        if cached is not None:
-            return cached
-        position = self.position(name)
-        reachable = sorted(
-            (distance, other)
-            for other, other_pos in self._positions.items()
-            if other != name
-            for distance in (position.distance_to(other_pos),)
-            if distance <= self.comm_range_m
-        )
-        result = tuple(other for _, other in reachable)
-        self._neighbor_cache[name] = result
-        return result
+        return self.neighbor_table(name).names
+
+    def neighbor_table(self, name: str) -> NeighborTable:
+        """Cached :class:`NeighborTable` of ``name`` (nearest first)."""
+        cached = self._tables.get(name)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        table = self._build_table(self.index_of(name))
+        self._tables[name] = (self._version, table)
+        return table
+
+    def distances_to(self, indices: np.ndarray, target: str) -> np.ndarray:
+        """Distances from the nodes at ``indices`` to ``target`` (vector).
+
+        Same operation order as :meth:`distance_m`, so each entry is
+        bit-identical to the scalar computation.
+        """
+        xyz = self._xyz
+        tx, ty, tz = xyz[self.index_of(target)]
+        dx = xyz[indices, 0] - tx
+        dy = xyz[indices, 1] - ty
+        dz = xyz[indices, 2] - tz
+        return np.sqrt(dx * dx + dy * dy + dz * dz)
+
+    def depths_of(self, indices: np.ndarray) -> np.ndarray:
+        """Depths (m) of the nodes at ``indices``."""
+        return self._xyz[indices, 2]
 
     def link_snr_db(self, a: str, b: str, frequency_hz: float = 2500.0) -> float:
         """Rough per-pair SNR from transmission loss and site noise (dB).
@@ -140,6 +276,92 @@ class AcousticNetTopology:
         distance = max(self.distance_m(a, b), 1e-3)
         loss_db = float(transmission_loss_db(distance, frequency_hz))
         return -loss_db - self.site.noise_level_db
+
+    def neighbor_snr_db(self, name: str, frequency_hz: float = 2500.0) -> np.ndarray:
+        """SNR toward each entry of :meth:`neighbor_table`, cached (dB)."""
+        table = self.neighbor_table(name)
+        cached = table._snr_db.get(frequency_hz)
+        if cached is None:
+            distances = np.maximum(table.distances_m, 1e-3)
+            loss_db = np.asarray(
+                transmission_loss_db(distances, frequency_hz), dtype=float
+            )
+            cached = -loss_db - self.site.noise_level_db
+            table._snr_db[frequency_hz] = cached
+        return cached
+
+    # ----------------------------------------------------------- spatial hash
+    def _cell_of(self, index: int) -> tuple[int, int]:
+        row = self._xyz[index]
+        cell = self.comm_range_m
+        return (int(row[0] // cell), int(row[1] // cell))
+
+    def _ensure_grid(self) -> None:
+        if self._buckets is not None:
+            return
+        count = self._count
+        cells = np.floor_divide(
+            self._xyz[: max(count, 1), :2], self.comm_range_m
+        ).astype(np.int64)
+        capacity = self._xyz.shape[0]
+        self._cells = np.empty((capacity, 2), dtype=np.int64)
+        self._cells[:count] = cells[:count]
+        buckets: dict[tuple[int, int], list[int]] = {}
+        for index in range(count):
+            buckets.setdefault(
+                (int(cells[index, 0]), int(cells[index, 1])), []
+            ).append(index)
+        self._buckets = buckets
+
+    def _refresh_grid(self) -> None:
+        """Move nodes whose mobility crossed a cell boundary (incremental)."""
+        if self._buckets is None:
+            return
+        count = self._count
+        new_cells = np.floor_divide(
+            self._xyz[:count, :2], self.comm_range_m
+        ).astype(np.int64)
+        changed = np.nonzero((new_cells != self._cells[:count]).any(axis=1))[0]
+        for raw in changed:
+            index = int(raw)
+            old = (int(self._cells[index, 0]), int(self._cells[index, 1]))
+            new = (int(new_cells[index, 0]), int(new_cells[index, 1]))
+            bucket = self._buckets[old]
+            bucket.remove(index)
+            if not bucket:
+                del self._buckets[old]
+            self._buckets.setdefault(new, []).append(index)
+        self._cells[:count] = new_cells
+
+    def _build_table(self, index: int) -> NeighborTable:
+        self._ensure_grid()
+        if self._name_keys is None:
+            self._name_keys = np.array(self._names)
+        cx, cy = self._cells[index]
+        buckets = self._buckets
+        candidates: list[int] = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                bucket = buckets.get((cx + dx, cy + dy))
+                if bucket:
+                    candidates.extend(bucket)
+        cand = np.array(candidates, dtype=np.intp)
+        xyz = self._xyz
+        x0, y0, z0 = xyz[index]
+        ddx = xyz[cand, 0] - x0
+        ddy = xyz[cand, 1] - y0
+        ddz = xyz[cand, 2] - z0
+        distances = np.sqrt(ddx * ddx + ddy * ddy + ddz * ddz)
+        mask = (distances <= self.comm_range_m) & (cand != index)
+        cand = cand[mask]
+        distances = distances[mask]
+        # Nearest first, ties by name -- the exact order of the original
+        # per-node ``sorted((distance, other) ...)`` generator.
+        order = np.lexsort((self._name_keys[cand], distances))
+        cand = cand[order]
+        distances = distances[order]
+        names = tuple(self._names[position] for position in cand)
+        return NeighborTable(names, cand, distances, distances / SOUND_SPEED_M_S)
 
     # --------------------------------------------------------------- mobility
     def _clamp_depth(self, depth_m: float) -> float:
@@ -152,17 +374,26 @@ class AcousticNetTopology:
         require_positive(dt_s, "dt_s")
         rng = ensure_rng(rng)
         jitter = self.site.current_speed_m_s
-        for name, position in list(self._positions.items()):
-            vx, vy, vz = self._velocities[name]
-            dx = (vx + jitter * float(rng.normal(0.0, 0.3))) * dt_s
-            dy = (vy + jitter * float(rng.normal(0.0, 0.3))) * dt_s
-            dz = vz * dt_s
-            self._positions[name] = NodePosition(
-                position.x_m + dx,
-                position.y_m + dy,
-                self._clamp_depth(position.depth_m + dz),
-            )
-        self._neighbor_cache.clear()
+        count = self._count
+        if self.mobility_draws == "legacy":
+            # The committed per-node draw order: two scalar normals per
+            # node, in insertion order.  Kept verbatim so old envelopes
+            # and trace fixtures replay against a frozen reference path.
+            draws = np.empty((count, 2))
+            for index in range(count):
+                draws[index, 0] = rng.normal(0.0, 0.3)
+                draws[index, 1] = rng.normal(0.0, 0.3)
+        else:
+            draws = rng.normal(0.0, 0.3, size=(count, 2))
+        xyz = self._xyz[:count]
+        vel = self._vel[:count]
+        xyz[:, 0] += (vel[:, 0] + jitter * draws[:, 0]) * dt_s
+        xyz[:, 1] += (vel[:, 1] + jitter * draws[:, 1]) * dt_s
+        xyz[:, 2] = np.clip(
+            xyz[:, 2] + vel[:, 2] * dt_s, 0.2, self.site.water_depth_m - 0.2
+        )
+        self._version += 1
+        self._refresh_grid()
 
     # --------------------------------------------------------------- builders
     @classmethod

@@ -320,6 +320,8 @@ def net_suite(quick: bool = False) -> list[Benchmark]:
     cost a sweep pays per point.
     """
     from repro.experiments.net_scenario import NetScenario
+    from repro.net.packet import NetPacket
+    from repro.net.routing import GreedyForwarding
     from repro.net.scheduler import Scheduler
 
     def scheduler_churn() -> None:
@@ -336,6 +338,42 @@ def net_suite(quick: bool = False) -> list[Benchmark]:
         num_nodes=12, topology="grid", routing="flooding", arq="none",
         traffic="sos", duration_s=90.0, seed=3,
     )
+    # The headline scale target of the vectorized engine: 1000 nodes,
+    # greedy convergecast to n0, no ARQ.  Pre-vectorization this scenario
+    # was minutes; the acceptance bar is single-digit seconds.
+    thousand_node = NetScenario(
+        num_nodes=1000, topology="grid", routing="greedy", arq="none",
+        rate_msgs_per_s=0.01, duration_s=60.0, destination="n0",
+        ttl=80, seed=7,
+    )
+    # Event-throughput probe: a mid-size ARQ scenario with a fixed event
+    # count, reported as events/s so dispatch-layer regressions show up
+    # independently of scenario shape.
+    throughput_scenario = NetScenario(
+        num_nodes=25, topology="grid", routing="greedy", arq="go-back-n",
+        duration_s=240.0, rate_msgs_per_s=0.02, destination="n0", seed=13,
+    )
+    throughput_events = throughput_scenario.run().num_events
+
+    # Micro-benchmark pair for the greedy hop choice: the production path
+    # (vectorized distance sweep + memo against the topology version --
+    # hop choices repeat constantly under ARQ traffic, which is exactly
+    # what the memo exploits) vs the retained per-neighbour scalar
+    # reference, on the same topology and (node, dest) pairs.
+    hop_topology = NetScenario(num_nodes=100, topology="grid").build_topology()
+    hop_nodes = hop_topology.names
+    hop_packet = NetPacket(
+        uid=0, kind="raw", source="n1", destination="n0", created_s=0.0
+    )
+    hop_routing = GreedyForwarding("distance")
+
+    def greedy_hops_vectorized() -> None:
+        for node in hop_nodes[1:]:
+            hop_routing.next_hops(node, hop_packet, hop_topology)
+
+    def greedy_hops_reference() -> None:
+        for node in hop_nodes[1:]:
+            hop_routing.next_hops_reference(node, hop_packet, hop_topology)
 
     return [
         Benchmark(
@@ -361,6 +399,41 @@ def net_suite(quick: bool = False) -> list[Benchmark]:
             unit="runs",
             repeats=_repeats(quick, 10, 2),
             metadata={"nodes": 12, "routing": "flooding", "traffic": "sos"},
+        ),
+        Benchmark(
+            name="net_1000node_greedy",
+            func=lambda: thousand_node.run(),
+            items_per_call=1,
+            unit="runs",
+            repeats=_repeats(quick, 5, 1),
+            metadata={"nodes": 1000, "routing": "greedy", "arq": "none"},
+        ),
+        Benchmark(
+            name="events_per_second",
+            func=lambda: throughput_scenario.run(),
+            items_per_call=throughput_events,
+            unit="events",
+            repeats=_repeats(quick, 10, 2),
+            metadata={"nodes": 25, "events_per_run": throughput_events},
+        ),
+        Benchmark(
+            name="greedy_next_hops_vectorized",
+            func=greedy_hops_vectorized,
+            items_per_call=len(hop_nodes) - 1,
+            unit="hop choices",
+            repeats=_repeats(quick, 20, 3),
+            metadata={
+                "nodes": 100, "destination": "n0",
+                "implementation": "memoized+vectorized",
+            },
+        ),
+        Benchmark(
+            name="greedy_next_hops_reference",
+            func=greedy_hops_reference,
+            items_per_call=len(hop_nodes) - 1,
+            unit="hop choices",
+            repeats=_repeats(quick, 20, 3),
+            metadata={"nodes": 100, "destination": "n0", "implementation": "scalar"},
         ),
     ]
 
