@@ -122,6 +122,7 @@ def _add_net_scenario_args(parser) -> None:
         TOPOLOGY_KINDS,
         TRAFFIC_KINDS,
     )
+    from repro.net.congestion import CC_KINDS
     from repro.net.routing import ROUTING_CATALOG
 
     parser.add_argument("--site", choices=sorted(SITE_CATALOG), default="lake")
@@ -134,6 +135,27 @@ def _add_net_scenario_args(parser) -> None:
     parser.add_argument("--routing", choices=sorted(ROUTING_CATALOG), default="greedy")
     parser.add_argument("--link", choices=LINK_KINDS, default="calibrated")
     parser.add_argument("--arq", choices=ARQ_KINDS, default="go-back-n")
+    parser.add_argument("--window", type=int, default=4,
+                        help="ARQ window size (segments in flight)")
+    parser.add_argument("--timeout", type=float, default=6.0,
+                        help="ARQ retransmission timeout in seconds (the "
+                             "reno controller adapts from this initial "
+                             "value)")
+    parser.add_argument("--max-retries", type=int, default=4,
+                        help="retransmissions per segment before a flow "
+                             "aborts")
+    parser.add_argument("--cc", choices=CC_KINDS, default="fixed",
+                        help="per-flow congestion controller: 'fixed' is the "
+                             "legacy constant window, 'reno' the AIMD "
+                             "controller with adaptive RTO")
+    parser.add_argument("--flows", type=int, default=None,
+                        help="run N concurrent convergecast flows (the N "
+                             "nodes farthest from the destination, default "
+                             "n0, all send through shared relays)")
+    parser.add_argument("--queue-capacity", type=int, default=None,
+                        help="bound every node's transmit buffer to this "
+                             "many packets (tail drop, reported as queue "
+                             "drops)")
     parser.add_argument("--traffic", choices=TRAFFIC_KINDS, default="poisson")
     parser.add_argument("--rate", type=float, default=0.02,
                         help="messages per second per source")
@@ -160,6 +182,12 @@ def _net_scenario_from_args(args, **forced):
         routing=args.routing,
         link=args.link,
         arq=args.arq,
+        window_size=args.window,
+        timeout_s=args.timeout,
+        max_retries=args.max_retries,
+        cc=args.cc,
+        num_flows=args.flows,
+        queue_capacity=args.queue_capacity,
         traffic=args.traffic,
         rate_msgs_per_s=args.rate,
         duration_s=args.duration,

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 from repro.environments.sites import SITE_CATALOG
 from repro.experiments.scenario import content_hash
+from repro.net.congestion import CC_KINDS, RelayQueueConfig
 from repro.net.links import CalibratedLink, LinkModel, PhysicalLink, calibrate_from_phy
 from repro.net.routing import ROUTING_CATALOG, build_routing
 from repro.net.simulator import NetworkResult, NetworkSimulator
@@ -29,6 +30,7 @@ from repro.net.traffic import (
     PoissonTraffic,
     SosBroadcastTraffic,
     TrafficGenerator,
+    convergecast_sources,
 )
 from repro.net.transport import ArqConfig
 
@@ -73,6 +75,18 @@ class NetScenario:
         ``"none"``, ``"go-back-n"`` or ``"selective-repeat"``.
     window_size, timeout_s, max_retries:
         ARQ knobs (ignored for ``arq="none"``).
+    cc:
+        Congestion controller per ARQ flow: ``"fixed"`` (the bit-exact
+        legacy window) or ``"reno"`` (AIMD with adaptive RTO).
+    num_flows:
+        When set, run this many concurrent convergecast flows: the
+        ``num_flows`` nodes farthest from the destination (default
+        ``"n0"``) each source the configured traffic towards it, sharing
+        relays -- the multi-flow contention workload.  ``None`` keeps
+        the legacy all-to-one/random workloads.
+    queue_capacity:
+        When set, bound every node's transmit buffer to this many
+        packets (tail drop, accounted as ``queue_drops``).
     traffic:
         ``"poisson"``, ``"cbr"``, ``"sos"`` or ``"population"`` (the
         :class:`~repro.trace.population.PopulationWorkload` user-group
@@ -113,6 +127,9 @@ class NetScenario:
     window_size: int = 4
     timeout_s: float = 6.0
     max_retries: int = 4
+    cc: str = "fixed"
+    num_flows: int | None = None
+    queue_capacity: int | None = None
     traffic: str = "poisson"
     rate_msgs_per_s: float = 0.02
     duration_s: float = 120.0
@@ -143,8 +160,33 @@ class NetScenario:
                 f"unknown routing {self.routing!r}; known: "
                 f"{', '.join(sorted(ROUTING_CATALOG))}"
             )
+        if self.cc not in CC_KINDS:
+            raise ValueError(
+                f"unknown cc {self.cc!r}; known: {', '.join(CC_KINDS)}"
+            )
         if self.num_nodes < 2:
             raise ValueError("num_nodes must be at least 2")
+        if self.num_flows is not None:
+            if self.num_flows < 1:
+                raise ValueError("num_flows must be at least 1")
+            if self.num_flows > self.num_nodes - 1:
+                raise ValueError(
+                    f"num_flows={self.num_flows} needs that many "
+                    f"non-destination nodes; num_nodes={self.num_nodes} "
+                    f"provides {self.num_nodes - 1}"
+                )
+            if self.traffic not in ("poisson", "cbr"):
+                raise ValueError(
+                    "num_flows requires poisson or cbr traffic (the other "
+                    "workloads define their own sources)"
+                )
+            if self.arq == "none":
+                raise ValueError(
+                    "num_flows describes concurrent ARQ flows; it needs "
+                    "arq != 'none'"
+                )
+        if self.queue_capacity is not None and self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be at least 1")
         if self.duration_s <= 0:
             raise ValueError("duration_s must be positive")
         if self.rate_msgs_per_s <= 0:
@@ -230,16 +272,29 @@ class NetScenario:
                 float(t) for t in range(0, int(self.duration_s), 30)
             ) or (0.0,)
             return SosBroadcastTraffic("n0", times_s=times)
+        sources = None
+        destination = self.destination
+        if self.num_flows is not None:
+            # Convergecast: the num_flows farthest nodes all send to one
+            # sink, sharing the relays near it.  Building the (cheap,
+            # deterministic) topology here keeps the traffic declaration
+            # self-contained.
+            destination = self.destination or "n0"
+            sources = convergecast_sources(
+                self.build_topology(), self.num_flows, destination
+            )
         if self.traffic == "cbr":
             return CBRTraffic(
                 interval_s=1.0 / self.rate_msgs_per_s,
                 duration_s=self.duration_s,
-                destination=self.destination,
+                sources=sources,
+                destination=destination,
             )
         return PoissonTraffic(
             rate_msgs_per_s=self.rate_msgs_per_s,
             duration_s=self.duration_s,
-            destination=self.destination,
+            sources=sources,
+            destination=destination,
         )
 
     def build_simulator(self, observer=None) -> NetworkSimulator:
@@ -269,6 +324,12 @@ class NetScenario:
             ttl=self.ttl,
             seed=self.seed + 1,
             observer=observer,
+            cc=self.cc,
+            relay_queue=(
+                RelayQueueConfig(capacity_packets=self.queue_capacity)
+                if self.queue_capacity is not None
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------- misc
@@ -298,6 +359,8 @@ class NetScenario:
             self.routing,
             self.link,
             None if self.arq == "none" else self.arq,
+            None if self.cc == "fixed" else f"cc {self.cc}",
+            None if self.num_flows is None else f"{self.num_flows} flows",
             f"{self.traffic} {self.duration_s:g} s",
             f"seed {self.seed}",
         ]

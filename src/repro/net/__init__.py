@@ -21,12 +21,26 @@ the existing channel/link machinery:
   :class:`CalibratedLink` replays a PER/bitrate-vs-distance table
   calibrated from the PHY so thousand-node scenarios run in seconds;
 * :mod:`~repro.net.traffic` -- Poisson/CBR/SOS-broadcast generators;
+* :mod:`~repro.net.congestion` -- pluggable congestion control
+  (:class:`FixedWindow`, Reno-style AIMD with adaptive RTO) and bounded
+  relay-queue modeling for many-flow scenarios;
 * :mod:`~repro.net.metrics` -- PDR, end-to-end latency, hop counts,
-  goodput and an energy proxy;
+  goodput, per-flow accounting with Jain fairness, and an energy proxy;
 * :mod:`~repro.net.simulator` -- :class:`NetworkSimulator` gluing it all
   together.
 """
 
+from repro.net.congestion import (
+    CC_KINDS,
+    AdaptiveRto,
+    CongestionController,
+    CwndTrajectory,
+    FixedWindow,
+    RelayQueueConfig,
+    RenoController,
+    build_controller,
+    jain_fairness_index,
+)
 from repro.net.links import (
     CalibratedLink,
     LinkCalibration,
@@ -59,15 +73,20 @@ from repro.net.transport import ArqConfig, ArqReceiver, ArqSender, FlowStats, Se
 
 __all__ = [
     "AcousticNetTopology",
+    "AdaptiveRto",
     "AppMessage",
     "ArqConfig",
     "ArqReceiver",
     "ArqSender",
     "BROADCAST",
     "CBRTraffic",
+    "CC_KINDS",
     "CalibratedLink",
+    "CongestionController",
+    "CwndTrajectory",
     "DeliveryRecord",
     "Event",
+    "FixedWindow",
     "FloodingRouting",
     "FlowStats",
     "GreedyForwarding",
@@ -83,12 +102,16 @@ __all__ = [
     "PhysicalLink",
     "PoissonTraffic",
     "ROUTING_CATALOG",
+    "RelayQueueConfig",
+    "RenoController",
     "RoutingProtocol",
     "Scheduler",
     "Segment",
     "SosBroadcastTraffic",
     "StaticShortestPathRouting",
     "TrafficGenerator",
+    "build_controller",
     "build_routing",
     "calibrate_from_phy",
+    "jain_fairness_index",
 ]

@@ -13,6 +13,15 @@ message and the latency/hop aggregates reduce over the arrays directly.
 :class:`DeliveryRecord` remains the row-level interchange type -- the
 :attr:`NetworkMetrics.records` property materializes rows on demand for
 observers and reports that want objects.
+
+When the congestion-control subsystem is engaged (a non-fixed
+controller, a relay-queue bound, or explicit flow accounting), metrics
+additionally keep a *per-flow* columnar arena -- goodput, retransmission
+and queue-drop counts, abort flags and sampled cwnd trajectories per ARQ
+flow epoch -- plus the :meth:`NetworkMetrics.jain_fairness` aggregate.
+Reports only include these fields while :attr:`NetworkMetrics.\
+congestion_enabled` is set, so legacy ``cc="fixed"`` runs keep their
+committed report schema byte for byte.
 """
 
 from __future__ import annotations
@@ -20,6 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.net.congestion import CwndTrajectory, jain_fairness_index
 
 #: Transmit/receive power draw (W) of a small acoustic modem -- the
 #: Evologics S2CR figures quoted by the uwoarouting simulators.  Used for
@@ -85,6 +96,7 @@ class NetworkMetrics:
         routing_voids: int = 0,
         tx_airtime_s: float = 0.0,
         rx_airtime_s: float = 0.0,
+        queue_drops: int = 0,
     ) -> None:
         self.transmissions = transmissions
         self.collisions = collisions
@@ -94,7 +106,31 @@ class NetworkMetrics:
         self.routing_voids = routing_voids
         self.tx_airtime_s = tx_airtime_s
         self.rx_airtime_s = rx_airtime_s
+        #: Packets refused by a bounded node buffer (tail drop / RED).
+        self.queue_drops = queue_drops
+        #: Whether the congestion subsystem's extra report fields (queue
+        #: drops, per-flow counters, fairness) are included in
+        #: to_dict()/summary().  Off by default: legacy fixed-window runs
+        #: must keep their committed report schema bit for bit.
+        self.congestion_enabled = False
+        #: Run duration recorded by the simulator; per-flow goodputs need
+        #: it (``None`` until a run finishes).
+        self.duration_s: float | None = None
         self._count = 0
+        # Per-flow columnar arena (grown by doubling, like deliveries).
+        self._flow_count = 0
+        self._flow_ids: list[str] = []
+        self._flow_slots: dict[str, int] = {}
+        self._flow_source_id = np.empty(_INITIAL_CAPACITY, dtype=np.int32)
+        self._flow_dest_id = np.empty(_INITIAL_CAPACITY, dtype=np.int32)
+        self._flow_offered = np.zeros(_INITIAL_CAPACITY, dtype=np.int64)
+        self._flow_delivered = np.zeros(_INITIAL_CAPACITY, dtype=np.int64)
+        self._flow_bits = np.zeros(_INITIAL_CAPACITY, dtype=float)
+        self._flow_retrans = np.zeros(_INITIAL_CAPACITY, dtype=np.int64)
+        self._flow_timeouts = np.zeros(_INITIAL_CAPACITY, dtype=np.int64)
+        self._flow_queue_drops = np.zeros(_INITIAL_CAPACITY, dtype=np.int64)
+        self._flow_aborted = np.zeros(_INITIAL_CAPACITY, dtype=np.int8)
+        self._flow_cwnd: list[CwndTrajectory | None] = []
         self._uid = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
         self._created_s = np.empty(_INITIAL_CAPACITY, dtype=float)
         self._delivered_s = np.empty(_INITIAL_CAPACITY, dtype=float)
@@ -266,6 +302,150 @@ class NetworkMetrics:
             return float("nan")
         return self.delivered * size_bits / duration_s
 
+    # ------------------------------------------------------------- per flow
+    def _grow_flows(self) -> None:
+        for name in (
+            "_flow_source_id", "_flow_dest_id", "_flow_offered",
+            "_flow_delivered", "_flow_bits", "_flow_retrans",
+            "_flow_timeouts", "_flow_queue_drops", "_flow_aborted",
+        ):
+            arena = getattr(self, name)
+            setattr(
+                self, name, np.concatenate([arena, np.zeros_like(arena)])
+            )
+
+    def register_flow(self, flow_id: str, source: str, destination: str) -> int:
+        """Open one flow epoch's accounting row; returns its slot."""
+        existing = self._flow_slots.get(flow_id)
+        if existing is not None:
+            return existing
+        slot = self._flow_count
+        if slot == self._flow_offered.shape[0]:
+            self._grow_flows()
+        self._flow_ids.append(flow_id)
+        self._flow_slots[flow_id] = slot
+        self._flow_source_id[slot] = self._intern(source)
+        self._flow_dest_id[slot] = self._intern(destination)
+        self._flow_cwnd.append(None)
+        self._flow_count = slot + 1
+        return slot
+
+    def flow_slot(self, flow_id: str) -> int | None:
+        """Slot of a registered flow, or ``None``."""
+        return self._flow_slots.get(flow_id)
+
+    def flow_offered(self, slot: int, bits: int) -> None:
+        """One payload entered this flow."""
+        self._flow_offered[slot] += 1
+        del bits  # offered bits are not currently aggregated
+
+    def flow_delivered(self, slot: int, bits: int) -> None:
+        """One payload of this flow reached its destination."""
+        self._flow_delivered[slot] += 1
+        self._flow_bits[slot] += bits
+
+    def flow_queue_drop(self, slot: int) -> None:
+        """A segment of this flow was refused by a full node buffer."""
+        self._flow_queue_drops[slot] += 1
+
+    def finalize_flow(
+        self,
+        slot: int,
+        retransmissions: int,
+        timeouts: int,
+        aborted: bool,
+        cwnd_trajectory: CwndTrajectory | None = None,
+    ) -> None:
+        """Copy one flow's end-of-run sender state into the arena."""
+        self._flow_retrans[slot] = retransmissions
+        self._flow_timeouts[slot] = timeouts
+        self._flow_aborted[slot] = 1 if aborted else 0
+        self._flow_cwnd[slot] = cwnd_trajectory
+
+    @property
+    def num_flows(self) -> int:
+        """Registered ARQ flow epochs."""
+        return self._flow_count
+
+    def flow_delivered_bits(self) -> np.ndarray:
+        """Delivered payload bits per registered flow."""
+        return self._flow_bits[: self._flow_count].copy()
+
+    def flow_goodputs_bps(self) -> np.ndarray:
+        """Per-flow goodput over the recorded run duration."""
+        bits = self._flow_bits[: self._flow_count]
+        if not self.duration_s or self.duration_s <= 0:
+            return np.full(bits.shape, float("nan"))
+        return bits / self.duration_s
+
+    @property
+    def aggregate_goodput_bps(self) -> float:
+        """Summed per-flow goodput over the recorded duration."""
+        if not self.duration_s or self.duration_s <= 0:
+            return float("nan")
+        return float(np.sum(self._flow_bits[: self._flow_count])) / self.duration_s
+
+    def pair_delivered_bits(self) -> np.ndarray:
+        """Delivered bits per (source, destination) *pair*.
+
+        An aborted flow restarts as a new epoch (new flow id) for the
+        same pair; fairness is about the pair's total service, so epochs
+        of one pair are summed rather than counted as separate flows.
+        """
+        totals: dict[tuple[int, int], float] = {}
+        for slot in range(self._flow_count):
+            pair = (
+                int(self._flow_source_id[slot]),
+                int(self._flow_dest_id[slot]),
+            )
+            totals[pair] = totals.get(pair, 0.0) + float(self._flow_bits[slot])
+        return np.asarray(list(totals.values()), dtype=float)
+
+    def jain_fairness(self, values=None) -> float:
+        """Jain index over per-pair delivered bits (or explicit values).
+
+        Scale-invariant, so delivered bits and goodput give the same
+        index; 1.0 is a perfectly fair share, ``1/n`` total starvation
+        of all but one flow.  Epochs of the same (source, destination)
+        pair are pooled first -- see :meth:`pair_delivered_bits`.
+        """
+        if values is None:
+            values = self.pair_delivered_bits()
+        return jain_fairness_index(values)
+
+    def cwnd_trajectory(self, flow_id: str) -> CwndTrajectory | None:
+        """Sampled (time, cwnd) trajectory of one flow, if recorded."""
+        slot = self._flow_slots.get(flow_id)
+        if slot is None:
+            return None
+        return self._flow_cwnd[slot]
+
+    def per_flow(self) -> dict[str, dict]:
+        """JSON-safe per-flow counters keyed by flow id."""
+        strings = self._strings
+        out: dict[str, dict] = {}
+        duration = self.duration_s if self.duration_s else None
+        for slot, flow_id in enumerate(self._flow_ids):
+            bits = float(self._flow_bits[slot])
+            trajectory = self._flow_cwnd[slot]
+            entry = {
+                "source": strings[self._flow_source_id[slot]],
+                "destination": strings[self._flow_dest_id[slot]],
+                "offered": int(self._flow_offered[slot]),
+                "delivered": int(self._flow_delivered[slot]),
+                "delivered_bits": bits,
+                "goodput_bps": (bits / duration) if duration else None,
+                "retransmissions": int(self._flow_retrans[slot]),
+                "timeouts": int(self._flow_timeouts[slot]),
+                "queue_drops": int(self._flow_queue_drops[slot]),
+                "aborted": bool(self._flow_aborted[slot]),
+            }
+            if trajectory is not None and len(trajectory):
+                entry["final_cwnd"] = trajectory.cwnds[-1]
+                entry["cwnd_samples"] = len(trajectory)
+            out[flow_id] = entry
+        return out
+
     # --------------------------------------------------------------- energy
     @property
     def energy_proxy_j(self) -> float:
@@ -274,8 +454,15 @@ class NetworkMetrics:
 
     # --------------------------------------------------------------- reports
     def to_dict(self) -> dict:
-        """JSON-safe summary (scalars only)."""
-        return {
+        """JSON-safe summary (scalars, plus per-flow rows when engaged).
+
+        The congestion block (``queue_drops``, ``jain_fairness_index``,
+        ``aggregate_goodput_bps``, ``flows``) only appears while
+        :attr:`congestion_enabled` is set: committed golden signatures
+        and trace fixtures of legacy fixed-window runs compare this dict
+        exactly, so the disabled schema must never change.
+        """
+        data = {
             "offered": self.offered,
             "delivered": self.delivered,
             "packet_delivery_ratio": self.packet_delivery_ratio,
@@ -292,6 +479,12 @@ class NetworkMetrics:
             "routing_voids": self.routing_voids,
             "energy_proxy_j": self.energy_proxy_j,
         }
+        if self.congestion_enabled:
+            data["queue_drops"] = self.queue_drops
+            data["jain_fairness_index"] = self.jain_fairness()
+            data["aggregate_goodput_bps"] = self.aggregate_goodput_bps
+            data["flows"] = self.per_flow()
+        return data
 
     def summary(self) -> str:
         """Multi-line human-readable report."""
@@ -308,4 +501,28 @@ class NetworkMetrics:
             f"  ttl drops / voids        : {self.ttl_drops} / {self.routing_voids}",
             f"  energy proxy             : {self.energy_proxy_j:.1f} J",
         ]
+        if self.congestion_enabled:
+            lines.append(f"  queue drops              : {self.queue_drops}")
+            if self._flow_count:
+                aborted = int(np.sum(self._flow_aborted[: self._flow_count]))
+                lines.append(
+                    f"  flows                    : {self._flow_count} "
+                    f"({aborted} aborted) | jain {self.jain_fairness():.3f} | "
+                    f"aggregate goodput {self.aggregate_goodput_bps:.1f} bps"
+                )
+                # Per-flow rows stay readable for small deployments and
+                # collapse to the aggregate line beyond that.
+                if self._flow_count <= 8:
+                    for flow_id, row in self.per_flow().items():
+                        goodput = row["goodput_bps"]
+                        goodput_text = (
+                            f"{goodput:.1f} bps" if goodput is not None else "n/a"
+                        )
+                        lines.append(
+                            f"    {flow_id:<16s}: {row['delivered']}/"
+                            f"{row['offered']} delivered, {goodput_text}, "
+                            f"{row['retransmissions']} rtx, "
+                            f"{row['queue_drops']} queue drops"
+                            + (" [ABORTED]" if row["aborted"] else "")
+                        )
         return "\n".join(lines)

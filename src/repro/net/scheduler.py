@@ -4,10 +4,13 @@ Everything time-ordered in the network simulator -- transmissions
 completing, packets arriving after their propagation delay, ARQ timers
 firing, traffic sources emitting messages, mobility steps -- is an
 :class:`Event` on one :class:`Scheduler`.  The heap holds plain
-``(time, sequence, event)`` tuples (native tuple comparison is what makes
-pushing and popping tens of thousands of events cheap; an orderable
+``(time, key, sequence, event)`` tuples (native tuple comparison is what
+makes pushing and popping tens of thousands of events cheap; an orderable
 dataclass pays a generated ``__lt__`` per comparison), ties are broken by
-insertion order so runs are fully deterministic, and cancellation is
+an optional stable *key* and then by insertion order so runs are fully
+deterministic -- per-flow ARQ timers pass their (source, destination)
+names as the key, making many-flow runs reproducible even if flows are
+created in a different order -- and cancellation is
 *lazy* (a cancelled event stays in the heap but is skipped when popped),
 which keeps :meth:`Scheduler.cancel` O(1) -- ARQ timers are rescheduled
 far more often than they fire.  A skip-cancel counter tracks how many
@@ -28,18 +31,32 @@ class Event:
     ----------
     time_s:
         Absolute simulation time at which the action runs.
+    key:
+        Stable tie-break applied before the insertion counter: same-time
+        events order by ``key`` first, so callers with a natural identity
+        (e.g. a flow's endpoint names) are ordered by *what* they are,
+        not by when they happened to be scheduled.  Defaults to ``()``,
+        which sorts before every non-empty key.
     sequence:
-        Insertion counter; orders events scheduled for the same instant.
+        Insertion counter; orders events scheduled for the same instant
+        and key.
     action:
         Zero-argument callable executed when the event fires.
     cancelled:
         Lazily-cancelled events are skipped when they reach the heap top.
     """
 
-    __slots__ = ("time_s", "sequence", "action", "cancelled", "_done")
+    __slots__ = ("time_s", "key", "sequence", "action", "cancelled", "_done")
 
-    def __init__(self, time_s: float, sequence: int, action: Callable[[], None]) -> None:
+    def __init__(
+        self,
+        time_s: float,
+        sequence: int,
+        action: Callable[[], None],
+        key: tuple = (),
+    ) -> None:
         self.time_s = time_s
+        self.key = key
         self.sequence = sequence
         self.action = action
         self.cancelled = False
@@ -54,7 +71,7 @@ class Scheduler:
     """Time-ordered event queue driving one simulation run."""
 
     def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Event]] = []
+        self._heap: list[tuple[float, tuple, int, Event]] = []
         self._sequence = 0
         self._now_s = 0.0
         self._num_processed = 0
@@ -77,8 +94,16 @@ class Scheduler:
         return len(self._heap) - self._num_cancelled_pending
 
     # ------------------------------------------------------------- scheduling
-    def at(self, time_s: float, action: Callable[[], None]) -> Event:
-        """Schedule ``action`` at absolute time ``time_s``."""
+    def at(
+        self, time_s: float, action: Callable[[], None], key: tuple = ()
+    ) -> Event:
+        """Schedule ``action`` at absolute time ``time_s``.
+
+        ``key`` is a stable same-time tie-break (compared before the
+        insertion counter); it must be a tuple of mutually comparable
+        elements across all callers that can collide in time.  The
+        default empty tuple preserves pure insertion ordering.
+        """
         time_s = float(time_s)
         if time_s < self._now_s:
             raise ValueError(
@@ -87,15 +112,17 @@ class Scheduler:
             )
         sequence = self._sequence
         self._sequence = sequence + 1
-        event = Event(time_s, sequence, action)
-        heapq.heappush(self._heap, (time_s, sequence, event))
+        event = Event(time_s, sequence, action, key)
+        heapq.heappush(self._heap, (time_s, key, sequence, event))
         return event
 
-    def after(self, delay_s: float, action: Callable[[], None]) -> Event:
+    def after(
+        self, delay_s: float, action: Callable[[], None], key: tuple = ()
+    ) -> Event:
         """Schedule ``action`` ``delay_s`` seconds from the current time."""
         if delay_s < 0:
             raise ValueError(f"delay_s must be non-negative, got {delay_s}")
-        return self.at(self._now_s + float(delay_s), action)
+        return self.at(self._now_s + float(delay_s), action, key)
 
     def cancel(self, event: Event) -> None:
         """Cancel a pending event (no-op if it already ran)."""
@@ -108,8 +135,8 @@ class Scheduler:
     def _discard_cancelled_top(self) -> None:
         """Drop lazily-cancelled entries from the heap top."""
         heap = self._heap
-        while heap and heap[0][2].cancelled:
-            _, _, event = heapq.heappop(heap)
+        while heap and heap[0][3].cancelled:
+            event = heapq.heappop(heap)[3]
             event._done = True
             self._num_cancelled_pending -= 1
 
@@ -118,7 +145,7 @@ class Scheduler:
         self._discard_cancelled_top()
         if not self._heap:
             return False
-        time_s, _, event = heapq.heappop(self._heap)
+        time_s, _, _, event = heapq.heappop(self._heap)
         event._done = True
         self._now_s = time_s
         self._num_processed += 1
@@ -154,7 +181,7 @@ class Scheduler:
         while heap:
             if max_events is not None and processed >= max_events:
                 break
-            top = heap[0][2]
+            top = heap[0][3]
             if top.cancelled:
                 heapq.heappop(heap)
                 top._done = True
@@ -164,7 +191,7 @@ class Scheduler:
             if until_s is not None and time_s > until_s:
                 self._now_s = max(self._now_s, float(until_s))
                 break
-            first = heapq.heappop(heap)[2]
+            first = heapq.heappop(heap)[3]
             if not (heap and heap[0][0] == time_s):
                 # Lone event at this instant (the common case under
                 # jittered continuous time): dispatch without building a
@@ -182,7 +209,7 @@ class Scheduler:
             while heap and heap[0][0] == time_s:
                 if budget is not None and len(cohort) >= budget:
                     break
-                event = heapq.heappop(heap)[2]
+                event = heapq.heappop(heap)[3]
                 if event.cancelled:
                     event._done = True
                     self._num_cancelled_pending -= 1

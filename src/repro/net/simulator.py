@@ -29,6 +29,12 @@ from typing import Callable
 
 import numpy as np
 
+from repro.net.congestion import (
+    CC_KINDS,
+    CongestionController,
+    RelayQueueConfig,
+    build_controller,
+)
 from repro.net.links import CalibratedLink, LinkModel
 from repro.net.metrics import DeliveryRecord, NetworkMetrics
 from repro.net.packet import BROADCAST, DEFAULT_TTL, NetPacket
@@ -178,6 +184,20 @@ class NetworkSimulator:
         Optional :class:`NetObserver` receiving app-layer hooks (sends,
         deliveries, drops, flow aborts) -- how :mod:`repro.trace`
         captures a run without the simulator knowing about traces.
+    cc:
+        Congestion controller per ARQ flow: a kind name from
+        :data:`~repro.net.congestion.CC_KINDS` or a zero-argument factory
+        returning a fresh
+        :class:`~repro.net.congestion.CongestionController`.  The default
+        ``"fixed"`` is bit-identical to the pre-congestion simulator.
+    relay_queue:
+        Bounded per-node transmit buffer
+        (:class:`~repro.net.congestion.RelayQueueConfig`); packets
+        refused admission are counted as ``queue_drops``.  ``None``
+        (default) keeps the legacy unbounded queues.
+    flow_accounting:
+        Force per-flow metrics on/off; ``None`` enables them
+        automatically when ``cc`` is non-fixed or a relay queue is set.
     """
 
     def __init__(
@@ -192,6 +212,9 @@ class NetworkSimulator:
         mobility_interval_s: float | None = None,
         seed: int | np.random.Generator | None = None,
         observer: NetObserver | None = None,
+        cc: str | Callable[[], CongestionController] = "fixed",
+        relay_queue: RelayQueueConfig | None = None,
+        flow_accounting: bool | None = None,
     ) -> None:
         if topology.num_nodes < 2:
             raise ValueError("the network needs at least two nodes")
@@ -203,6 +226,15 @@ class NetworkSimulator:
         self.collisions = bool(collisions)
         self.forward_jitter_s = float(forward_jitter_s)
         self.mobility_interval_s = mobility_interval_s
+        if not callable(cc) and cc not in CC_KINDS:
+            raise ValueError(f"cc must be one of {CC_KINDS} or a factory, got {cc!r}")
+        self.cc = cc
+        self.relay_queue = relay_queue
+        cc_is_fixed = not callable(cc) and cc == "fixed"
+        if flow_accounting is None:
+            flow_accounting = not cc_is_fixed or relay_queue is not None
+        self._flow_accounting = bool(flow_accounting) and arq is not None
+        self._cc_is_fixed = cc_is_fixed
         self.observer = observer if observer is not None else NetObserver()
         # Delivery/drop hooks need row objects; without an observer the
         # metrics arena is appended to directly (no per-payload object).
@@ -219,8 +251,13 @@ class NetworkSimulator:
         self._txplans: dict[tuple[str, str, int], tuple] = {}
         self._uids = itertools.count()
         self._metrics = NetworkMetrics()
+        self._metrics.congestion_enabled = (
+            self._flow_accounting or relay_queue is not None
+        )
         self._pending: dict[tuple[str, int], _PendingDelivery] = {}
         self._payload_sizes: dict[int, int] = {}
+        # payload uid -> metrics flow slot (only under flow accounting).
+        self._payload_flow: dict[int, int] = {}
         self._broadcast_routing = FloodingRouting()
         # Current-epoch sender per (source, destination); an aborted flow is
         # replaced by a fresh epoch (new flow_id) on the next message, like a
@@ -289,6 +326,18 @@ class NetworkSimulator:
             self._scheduler.after(self.mobility_interval_s, self._on_mobility_step)
         self._drain(until_s, max_events, progress)
         self._finalize_lost()
+        self._metrics.duration_s = self._scheduler.now_s
+        if self._flow_accounting:
+            for flow_id, sender in self._senders_by_id.items():
+                slot = self._metrics.flow_slot(flow_id)
+                if slot is not None:
+                    self._metrics.finalize_flow(
+                        slot,
+                        sender.stats.retransmissions,
+                        sender.stats.timeouts,
+                        sender.failed,
+                        sender.controller.trajectory,
+                    )
         sender_stats = {
             flow_id: sender.stats for flow_id, sender in self._senders_by_id.items()
         }
@@ -410,17 +459,34 @@ class NetworkSimulator:
         if sender is None or sender.failed:
             epoch = self._flow_epochs.get(key, -1) + 1
             self._flow_epochs[key] = epoch
-            sender = ArqSender(f"{key[0]}>{key[1]}#{epoch}", self.arq)
+            sender = ArqSender(
+                f"{key[0]}>{key[1]}#{epoch}", self.arq, self._make_controller()
+            )
             self._senders[key] = sender
             self._senders_by_id[sender.flow_id] = sender
+            if self._flow_accounting:
+                self._metrics.register_flow(sender.flow_id, key[0], key[1])
         uid = next(self._uids)
         self._pending[(message.destination, uid)] = _PendingDelivery(
             uid, message.source, message.destination, now, "data"
         )
         self._payload_sizes[uid] = message.size_bits
+        if self._flow_accounting:
+            slot = self._metrics.flow_slot(sender.flow_id)
+            self._metrics.flow_offered(slot, message.size_bits)
+            self._payload_flow[uid] = slot
         self.observer.on_send(now, uid, message, "data")
         sender.offer(uid)
         self._pump_flow(key)
+
+    def _make_controller(self) -> CongestionController | None:
+        """Fresh controller for a new flow epoch (``None`` = legacy fixed)."""
+        if callable(self.cc):
+            return self.cc()
+        if self._cc_is_fixed:
+            # ArqSender builds its own FixedWindow: the bit-exact default.
+            return None
+        return build_controller(self.cc, self.arq)
 
     # -------------------------------------------------------------- transport
     def _segment_packet(self, key: tuple[str, str], segment: Segment) -> NetPacket:
@@ -455,8 +521,12 @@ class NetworkSimulator:
         # every retry forever.
         jitter = float(self._rng.uniform(0.0, 0.25 * self.arq.timeout_s))
         deadline = max(deadline, self._scheduler._now_s) + jitter
+        # The (source, destination) names are the timer's scheduler
+        # tie-break: same-instant timers of different flows fire in name
+        # order, not flow-creation order, keeping many-flow runs
+        # bit-reproducible across traffic insertion order.
         self._flow_timers[key] = self._scheduler.at(
-            deadline, lambda: self._on_flow_timeout(key)
+            deadline, lambda: self._on_flow_timeout(key), key=key
         )
 
     def _on_flow_timeout(self, key: tuple[str, str]) -> None:
@@ -479,6 +549,15 @@ class NetworkSimulator:
     # ------------------------------------------------------------ transmitting
     def _enqueue(self, node_name: str, packet: NetPacket) -> None:
         node = self._nodes[node_name]
+        if self.relay_queue is not None and not self.relay_queue.admit(
+            len(node.queue), self._rng
+        ):
+            self._metrics.queue_drops += 1
+            if self._flow_accounting and packet.segment is not None:
+                slot = self._metrics.flow_slot(packet.segment.flow_id)
+                if slot is not None:
+                    self._metrics.flow_queue_drop(slot)
+            return
         node.queue.append(packet)
         self._service(node)
 
@@ -755,6 +834,9 @@ class NetworkSimulator:
         pending = self._pending.pop((node_name, uid), None)
         if pending is None:
             return
+        slot = self._payload_flow.pop(uid, None)
+        if slot is not None:
+            self._metrics.flow_delivered(slot, self._payload_sizes.get(uid, 16))
         if self._observed:
             record = DeliveryRecord(
                 uid=uid,

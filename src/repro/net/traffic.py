@@ -38,6 +38,32 @@ class TrafficGenerator(ABC):
         """Expand into concrete messages (sorted by time)."""
 
 
+def convergecast_sources(
+    topology: AcousticNetTopology, num_flows: int, destination: str
+) -> tuple[str, ...]:
+    """Sources of an ``num_flows``-flow convergecast onto ``destination``.
+
+    Picks the ``num_flows`` nodes *farthest* from the destination (ties
+    broken by name for determinism), so flows traverse shared relays and
+    actually contend -- the workload the congestion-control experiments
+    need.  Raises when the deployment has too few other nodes.
+    """
+    if num_flows < 1:
+        raise ValueError("num_flows must be at least 1")
+    if destination not in topology:
+        raise ValueError(f"unknown destination {destination!r}")
+    candidates = [name for name in topology.names if name != destination]
+    if num_flows > len(candidates):
+        raise ValueError(
+            f"num_flows={num_flows} needs that many non-destination nodes; "
+            f"the deployment has {len(candidates)}"
+        )
+    candidates.sort(
+        key=lambda name: (-topology.distance_m(name, destination), name)
+    )
+    return tuple(sorted(candidates[:num_flows]))
+
+
 def _pick_destination(
     source: str,
     destination: str | None,

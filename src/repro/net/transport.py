@@ -26,11 +26,21 @@ NetworkSimulator` drive them from scheduler events.
 A segment whose retries exceed :attr:`ArqConfig.max_retries` aborts its
 flow (``sender.failed``), mirroring how the messaging network gives up on
 a packet after ``max_retransmissions``.
+
+The *rate* at which a sender fills its window is delegated to a
+:class:`~repro.net.congestion.CongestionController`: the effective
+window is ``min(config.window_size, controller.window())`` and segment
+deadlines are armed with ``controller.rto_s()``.  The default controller
+is :class:`~repro.net.congestion.FixedWindow`, whose window and timeout
+are the configured constants and whose hooks are no-ops -- bit-identical
+to the pre-congestion-control sender.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from repro.net.congestion import CongestionController, FixedWindow
 
 
 @dataclass(frozen=True)
@@ -148,14 +158,32 @@ class _InFlight:
     deadline_s: float = 0.0
     retries: int = 0
     acked: bool = False
+    #: First-transmission time, for RTT sampling (Karn's rule excludes
+    #: segments with ``retries > 0``).
+    sent_s: float = 0.0
 
 
 class ArqSender:
-    """Sliding-window sender of one reliable flow."""
+    """Sliding-window sender of one reliable flow.
 
-    def __init__(self, flow_id: str, config: ArqConfig) -> None:
+    ``controller`` plugs a congestion-control algorithm into the window
+    and timer arithmetic; without one, a bit-exact
+    :class:`~repro.net.congestion.FixedWindow` is built from the config.
+    """
+
+    def __init__(
+        self,
+        flow_id: str,
+        config: ArqConfig,
+        controller: CongestionController | None = None,
+    ) -> None:
         self.flow_id = flow_id
         self.config = config
+        self.controller = (
+            controller
+            if controller is not None
+            else FixedWindow(config.window_size, config.timeout_s)
+        )
         self.stats = FlowStats()
         self.failed = False
         self._payloads: list[object] = []
@@ -181,6 +209,16 @@ class ArqSender:
         """Wire sequence of the window base."""
         return self._base % self.config.seq_modulus
 
+    @property
+    def effective_window(self) -> int:
+        """Segments the flow may currently have in flight.
+
+        The configured ARQ window (the receive buffer / sequence-space
+        bound) caps the controller's congestion window, exactly like the
+        advertised window caps cwnd in TCP.
+        """
+        return min(self.config.window_size, self.controller.window())
+
     def _wire(self, absolute: int) -> int:
         return absolute % self.config.seq_modulus
 
@@ -201,12 +239,14 @@ class ArqSender:
         if self.failed:
             return []
         segments: list[Segment] = []
-        limit = self._base + self.config.window_size
+        limit = self._base + self.effective_window
+        rto_s = self.controller.rto_s()
         while self._next < min(limit, len(self._payloads)):
             absolute = self._next
             self._in_flight[absolute] = _InFlight(
                 payload=self._payloads[absolute],
-                deadline_s=now_s + self.config.timeout_s,
+                deadline_s=now_s + rto_s,
+                sent_s=now_s,
             )
             segments.append(
                 Segment(self.flow_id, self._wire(absolute), "data",
@@ -223,7 +263,7 @@ class ArqSender:
             self.failed = True
             return None
         state.retries += 1
-        state.deadline_s = now_s + self.config.timeout_s
+        state.deadline_s = now_s + self.controller.rto_s()
         self.stats.retransmissions += 1
         return Segment(self.flow_id, self._wire(absolute), "data", state.payload)
 
@@ -244,14 +284,24 @@ class ArqSender:
         else:
             advance = (segment.seq - self.base_seq) % self.config.seq_modulus
         if 0 < advance <= outstanding:
+            # Karn's rule: sample the RTT off the newest acked segment
+            # that was never retransmitted (a retransmitted segment's ACK
+            # is ambiguous between the transmissions).
+            for absolute in range(self._base + advance - 1, self._base - 1, -1):
+                state = self._in_flight.get(absolute)
+                if state is not None and state.retries == 0:
+                    self.controller.on_rtt_sample(now_s - state.sent_s, now_s)
+                    break
             for absolute in range(self._base, self._base + advance):
                 self._in_flight.pop(absolute, None)
             self._base += advance
             self._dup_acks = 0
             self._fast_retransmitted = False
+            self.controller.on_ack(advance, now_s)
             # Restart the single Go-Back-N timer for the new base.
+            rto_s = self.controller.rto_s()
             for state in self._in_flight.values():
-                state.deadline_s = now_s + self.config.timeout_s
+                state.deadline_s = now_s + rto_s
             return []
         # Duplicate cumulative ACK: count it, suppress all but the one
         # fast retransmit of the base segment at the threshold.
@@ -262,6 +312,7 @@ class ArqSender:
             # count towards fast retransmit.
             return []
         self._dup_acks += 1
+        self.controller.on_duplicate_ack(now_s)
         if (
             self._dup_acks >= self.config.dup_ack_threshold
             and not self._fast_retransmitted
@@ -269,6 +320,7 @@ class ArqSender:
         ):
             self._fast_retransmitted = True
             self.stats.fast_retransmits += 1
+            self.controller.on_fast_retransmit(now_s)
             segment = self._retransmit(self._base, now_s)
             return [segment] if segment is not None else []
         return []
@@ -282,8 +334,7 @@ class ArqSender:
         return None
 
     def _on_selective_ack(self, segment: Segment, now_s: float) -> list[Segment]:
-        del now_s  # selective repeat has no cumulative-timer restart
-        newly_acked = False
+        newly_acked = 0
         if segment.ack_abs is not None:
             acked_absolutes = (segment.ack_abs,) + tuple(segment.sack_abs)
         else:
@@ -298,10 +349,15 @@ class ArqSender:
             state = self._in_flight.get(absolute)
             if state is not None and not state.acked:
                 state.acked = True
-                newly_acked = True
+                newly_acked += 1
+                if state.retries == 0:
+                    # Karn-valid sample per newly acked first transmission.
+                    self.controller.on_rtt_sample(now_s - state.sent_s, now_s)
         if not newly_acked:
             self.stats.duplicate_acks += 1
+            self.controller.on_duplicate_ack(now_s)
             return []
+        self.controller.on_ack(newly_acked, now_s)
         while self._base < self._next:
             state = self._in_flight.get(self._base)
             if state is None or not state.acked:
@@ -334,10 +390,18 @@ class ArqSender:
         if not due:
             return []
         self.stats.timeouts += 1
+        self.controller.on_timeout(now_s)
         segments: list[Segment] = []
         if self.config.mode == "go-back-n":
-            # One timer, whole window: resend everything outstanding.
-            for absolute in sorted(self._in_flight):
+            # One timer, whole *allowed* window: resend the oldest
+            # outstanding segments up to the post-timeout window.  With
+            # the fixed controller that window equals the configured one,
+            # which always covers everything outstanding -- the legacy
+            # resend-all behaviour.  A Reno controller collapses to one
+            # segment, so a timeout retransmits only the base (classic
+            # TCP) instead of re-flooding a congested channel.
+            allowed = max(1, self.effective_window)
+            for absolute in sorted(self._in_flight)[:allowed]:
                 segment = self._retransmit(absolute, now_s)
                 if segment is None:
                     return segments

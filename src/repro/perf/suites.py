@@ -346,6 +346,16 @@ def net_suite(quick: bool = False) -> list[Benchmark]:
         rate_msgs_per_s=0.01, duration_s=60.0, destination="n0",
         ttl=80, seed=7,
     )
+    # The committed 24-flow shared-relay convergecast under the Reno
+    # controller (tests/data/net_multiflow_24flow.json): exercises the
+    # per-flow controller hooks, adaptive RTO, relay-queue admission and
+    # per-flow metrics accounting on every pump.
+    multiflow = NetScenario(
+        num_nodes=25, topology="grid", routing="greedy", traffic="poisson",
+        num_flows=24, cc="reno", rate_msgs_per_s=0.01, duration_s=600.0,
+        timeout_s=3.0, max_retries=20, window_size=8, queue_capacity=6,
+        seed=1, label="multiflow-24flow",
+    )
     # Event-throughput probe: a mid-size ARQ scenario with a fixed event
     # count, reported as events/s so dispatch-layer regressions show up
     # independently of scenario shape.
@@ -399,6 +409,17 @@ def net_suite(quick: bool = False) -> list[Benchmark]:
             unit="runs",
             repeats=_repeats(quick, 10, 2),
             metadata={"nodes": 12, "routing": "flooding", "traffic": "sos"},
+        ),
+        Benchmark(
+            name="net_multiflow_24flow",
+            func=lambda: multiflow.run(),
+            items_per_call=1,
+            unit="runs",
+            repeats=_repeats(quick, 10, 2),
+            metadata={
+                "nodes": 25, "flows": 24, "cc": "reno",
+                "queue_capacity": 6,
+            },
         ),
         Benchmark(
             name="net_1000node_greedy",

@@ -22,6 +22,11 @@ every panel:
     End-to-end packet delivery ratio versus deployment length on a
     multi-hop line network with ARQ -- the repro.net extension of the
     link-layer claims.
+``cc_fairness_vs_load``
+    Jain fairness and horizon-normalized goodput versus offered load on
+    the 24-flow shared-relay convergecast, under the fixed legacy window
+    *and* the Reno controller in the same seeded trial -- the
+    goodput-collapse-vs-stability claim of the congestion subsystem.
 
 Each figure runs as ``trials`` seeded Monte-Carlo repetitions per grid
 point; :mod:`repro.validation.montecarlo` owns the execution, this
@@ -105,7 +110,7 @@ class FigureSpec:
     params: Mapping[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        if self.kind not in ("link", "sos", "net"):
+        if self.kind not in ("link", "sos", "net", "cc"):
             raise ValueError(f"unknown figure kind {self.kind!r}")
         if not set(self.quick_values) <= set(self.values):
             raise ValueError(
@@ -281,6 +286,55 @@ def run_net_trial(
     )
 
 
+# -------------------------------------------------------------- cc executor
+def run_cc_trial(
+    spec: FigureSpec, axis_value, trial: int, base_seed: int = 0, quick: bool = False
+) -> TrialOutcome:
+    """Run one congestion-control trial: fixed vs Reno on the same seed.
+
+    Both controllers replay the identical seeded scenario (same topology,
+    traffic arrivals and link draws schedule-permitting), so the paired
+    metrics isolate the controller's effect.  Goodputs are normalized to
+    the *longer* of the two run durations: a fixed-window run drains fast
+    by aborting starved flows while Reno keeps pacing its backlog, and
+    dividing each by its own duration would reward giving up early.
+    """
+    from repro.experiments.net_scenario import NetScenario
+
+    scenario = NetScenario(
+        site=spec.param("site"),
+        topology=spec.param("topology"),
+        num_nodes=int(spec.param("num_nodes")),
+        spacing_m=float(spec.param("spacing_m")),
+        comm_range_m=float(spec.param("comm_range_m")),
+        routing=spec.param("routing"),
+        link=spec.param("link"),
+        arq=spec.param("arq"),
+        window_size=int(spec.param("window_size")),
+        timeout_s=float(spec.param("timeout_s")),
+        max_retries=int(spec.param("max_retries")),
+        num_flows=int(spec.param("num_flows")),
+        queue_capacity=int(spec.param("queue_capacity")),
+        traffic=spec.param("traffic"),
+        rate_msgs_per_s=float(axis_value),
+        duration_s=float(spec.param("duration_s", quick=quick)),
+        seed=spec.point_seed(axis_value, trial, base_seed),
+        label=f"{spec.name}@{axis_value}#{trial}",
+    )
+    results = {cc: scenario.replace(cc=cc).run() for cc in ("fixed", "reno")}
+    horizon_s = max(result.duration_s for result in results.values())
+    counts = {}
+    values = {}
+    for cc, result in results.items():
+        metrics = result.metrics
+        counts[f"pdr_{cc}"] = (metrics.delivered, metrics.offered)
+        values[f"jain_{cc}"] = metrics.jain_fairness()
+        delivered_bits = float(metrics.flow_delivered_bits().sum())
+        values[f"goodput_{cc}_bps"] = delivered_bits / horizon_s
+        values[f"retransmissions_{cc}"] = float(result.total_retransmissions)
+    return TrialOutcome(counts=counts, values=values)
+
+
 # ---------------------------------------------------------------- registry
 FIGURE_REGISTRY: dict[str, FigureSpec] = {
     spec.name: spec
@@ -360,6 +414,41 @@ FIGURE_REGISTRY: dict[str, FigureSpec] = {
                 "duration_s": 120.0,
                 "quick_duration_s": 60.0,
                 "destination": "last",
+            },
+        ),
+        FigureSpec(
+            name="cc_fairness_vs_load",
+            title="Jain fairness & goodput vs offered load "
+                  "(24-flow convergecast, fixed vs Reno)",
+            kind="cc",
+            axis="rate_msgs_per_s",
+            values=(0.005, 0.01, 0.02),
+            quick_values=(0.01,),
+            metrics=(
+                "jain_reno", "jain_fixed",
+                "goodput_reno_bps", "goodput_fixed_bps",
+                "pdr_reno", "pdr_fixed",
+                "retransmissions_reno", "retransmissions_fixed",
+            ),
+            headline="jain_reno",
+            tolerance=0.15,
+            params={
+                "site": "lake",
+                "topology": "grid",
+                "num_nodes": 25,
+                "spacing_m": 8.0,
+                "comm_range_m": 12.0,
+                "routing": "greedy",
+                "link": "calibrated",
+                "arq": "go-back-n",
+                "window_size": 8,
+                "timeout_s": 3.0,
+                "max_retries": 20,
+                "num_flows": 24,
+                "queue_capacity": 6,
+                "traffic": "poisson",
+                "duration_s": 600.0,
+                "quick_duration_s": 300.0,
             },
         ),
     )

@@ -27,6 +27,7 @@ from repro.validation.figures import (
     get_figure,
     link_outcome,
     link_scenario,
+    run_cc_trial,
     run_net_trial,
     run_sos_trial,
 )
@@ -186,7 +187,11 @@ class MonteCarloRunner:
         if spec.kind == "link":
             points = self._run_link(spec, grid, quick)
         else:
-            executor = run_sos_trial if spec.kind == "sos" else run_net_trial
+            executor = {
+                "sos": run_sos_trial,
+                "net": run_net_trial,
+                "cc": run_cc_trial,
+            }[spec.kind]
             points = []
             for axis_value in grid:
                 outcomes = [
