@@ -167,6 +167,16 @@ def _add_net_scenario_args(parser) -> None:
                         help="hop budget per packet copy (raise for large "
                              "deployments, e.g. 80 for a 1000-node grid)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--faults", metavar="FILE", default=None,
+                        help="inject a repro.faults schedule (JSON) into the "
+                             "run: node crashes/recoveries, link blackouts "
+                             "and degradations, noise bursts, energy "
+                             "depletion, seeded churn")
+    parser.add_argument("--no-repair", action="store_true",
+                        help="with --faults: disable the resilience response "
+                             "(liveness tracking, route repair, proactive "
+                             "aborts, SOS re-flooding) -- the chaos A/B "
+                             "baseline")
 
 
 def _net_scenario_from_args(args, **forced):
@@ -195,6 +205,14 @@ def _net_scenario_from_args(args, **forced):
         ttl=args.ttl,
         seed=args.seed,
     )
+    faults_path = getattr(args, "faults", None)
+    if faults_path:
+        from repro.faults import load_schedule
+
+        schedule = load_schedule(faults_path)
+        if getattr(args, "no_repair", False):
+            schedule = schedule.with_repair(False)
+        fields["faults_json"] = schedule.to_json()
     fields.update(forced)
     return NetScenario(**fields)
 
@@ -375,6 +393,33 @@ def _add_sos_parser(subparsers) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_chaos_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "chaos",
+        help="fault-injection A/B: same faults with repair on vs off",
+        description="Run one repro.net scenario twice under the same fault "
+                    "schedule -- once with the resilience response enabled "
+                    "(liveness tracking, route repair, proactive aborts, SOS "
+                    "re-flooding) and once with it disabled -- and compare "
+                    "delivery, latency and per-reason drop/abort counters.  "
+                    "Without --faults, a seeded random churn schedule is "
+                    "generated from --churn-rate/--mean-downtime.",
+    )
+    _add_net_scenario_args(parser)
+    parser.add_argument("--churn-rate", type=float, default=0.002,
+                        help="without --faults: per-node crash rate in "
+                             "crashes per second (exponential up-times)")
+    parser.add_argument("--mean-downtime", type=float, default=60.0,
+                        help="without --faults: mean outage length in "
+                             "seconds (exponential down-times)")
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        help="without --faults: seed for the generated churn "
+                             "schedule (independent of the scenario seed)")
+    parser.add_argument("--json", metavar="FILE", dest="json_path", default=None,
+                        help="also write both runs' metrics and the schedule "
+                             "to FILE as JSON")
+
+
 def _add_mac_parser(subparsers) -> None:
     parser = subparsers.add_parser("mac", help="simulate the carrier-sense MAC")
     parser.add_argument("--transmitters", type=int, default=3)
@@ -397,6 +442,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_bench_parser(subparsers)
     _add_validate_parser(subparsers)
     _add_sos_parser(subparsers)
+    _add_chaos_parser(subparsers)
     _add_mac_parser(subparsers)
     subparsers.add_parser("sites", help="list the simulated evaluation sites")
     return parser
@@ -841,6 +887,77 @@ def _run_mac(args) -> int:
     return 0
 
 
+def _run_chaos(args) -> int:
+    import json
+
+    from repro.faults import ChurnProcess, FaultSchedule, load_schedule
+    from repro.utils.jsonsafe import nan_to_none
+
+    if args.faults:
+        schedule = load_schedule(args.faults)
+    else:
+        # Protect the SOS source / default sink so the A/B compares
+        # repair quality, not luck about whether the endpoints survived.
+        protect = ["n0"]
+        if args.destination and args.destination not in protect:
+            protect.append(args.destination)
+        schedule = FaultSchedule(
+            churn=ChurnProcess(
+                rate_per_node_per_s=args.churn_rate,
+                mean_downtime_s=args.mean_downtime,
+                end_s=args.duration,
+                seed=args.fault_seed,
+                protect=tuple(protect),
+            )
+        )
+    try:
+        base = _net_scenario_from_args(args, faults_json="")
+        names = tuple(base.build_topology().names)
+        num_events = len(schedule.expand(names))
+        results = {}
+        for key, repair in (("repair_on", True), ("repair_off", False)):
+            results[key] = base.with_faults(schedule.with_repair(repair)).run()
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    on, off = results["repair_on"].metrics, results["repair_off"].metrics
+    print(base.describe())
+    print(f"fault schedule: {num_events} events "
+          f"(beacon {schedule.beacon_interval_s:g} s x {schedule.miss_threshold})")
+    print(f"  {'':26s}{'repair on':>12s}{'repair off':>12s}")
+    print(f"  {'delivered / offered':26s}"
+          f"{f'{on.delivered}/{on.offered}':>12s}"
+          f"{f'{off.delivered}/{off.offered}':>12s}")
+    print(f"  {'packet delivery ratio':26s}"
+          f"{on.packet_delivery_ratio:>12.1%}{off.packet_delivery_ratio:>12.1%}")
+    print(f"  {'node crashes':26s}{on.node_crashes:>12d}{off.node_crashes:>12d}")
+    print(f"  {'route repairs':26s}{len(on.repair_times_s):>12d}"
+          f"{len(off.repair_times_s):>12d}")
+    repair_time = (
+        f"{on.mean_time_to_repair_s:.1f} s"
+        if on.repair_times_s
+        else "n/a"
+    )
+    print(f"  {'mean time to repair':26s}{repair_time:>12s}{'n/a':>12s}")
+    for title, attr in (("drops", "drop_reasons"), ("aborts", "abort_reasons")):
+        reasons = sorted(set(getattr(on, attr)) | set(getattr(off, attr)))
+        for reason in reasons:
+            print(f"  {f'{title}: {reason}':26s}"
+                  f"{getattr(on, attr).get(reason, 0):>12d}"
+                  f"{getattr(off, attr).get(reason, 0):>12d}")
+    if args.json_path:
+        payload = {
+            "scenario": base.to_dict(),
+            "schedule": schedule.to_dict(),
+            "repair_on": results["repair_on"].to_dict(),
+            "repair_off": results["repair_off"].to_dict(),
+        }
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(nan_to_none(payload), handle, indent=2, sort_keys=True)
+        print(f"  results written to       : {args.json_path}")
+    return 0
+
+
 def _run_sites(_args) -> int:
     for site in SITE_CATALOG.values():
         print(f"{site.name:7s} depth {site.water_depth_m:4.1f} m  "
@@ -860,6 +977,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench": _run_bench,
         "validate": _run_validate,
         "sos": _run_sos,
+        "chaos": _run_chaos,
         "mac": _run_mac,
         "sites": _run_sites,
     }

@@ -111,6 +111,12 @@ class NetScenario:
         Emit per-distance progress/ETA lines on stderr while measuring
         the calibration table.  Off by default so library users (and
         parallel sweep workers) stay quiet; the CLI turns it on.
+    faults_json:
+        Canonical JSON of a :class:`~repro.faults.schedule.FaultSchedule`
+        to inject into the run (``""`` = no faults).  Stored as a string
+        so the scenario stays frozen/hashable and the schedule enters the
+        scenario identity verbatim -- two scenarios with the same faults
+        hash identically.
     label:
         Free-form tag for reports.
     """
@@ -138,6 +144,7 @@ class NetScenario:
     seed: int = 0
     calibration_packets_per_point: int | None = None
     calibration_progress: bool = False
+    faults_json: str = ""
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -213,8 +220,26 @@ class NetScenario:
                     "link='calibrated' (the physical link runs the full PHY "
                     "per packet and needs no table)"
                 )
+        if self.faults_json:
+            # Parse eagerly so an invalid schedule fails at declaration
+            # time, like every other scenario field.
+            self.fault_schedule()
 
     # ------------------------------------------------------------- components
+    def fault_schedule(self):
+        """Parse ``faults_json`` (``None`` when the scenario is fault-free)."""
+        if not self.faults_json:
+            return None
+        from repro.faults import FaultSchedule
+
+        return FaultSchedule.from_json(self.faults_json)
+
+    def with_faults(self, schedule) -> "NetScenario":
+        """Copy with a :class:`FaultSchedule` (or ``None``) installed."""
+        return self.replace(
+            faults_json="" if schedule is None else schedule.to_json()
+        )
+
     def build_topology(self) -> AcousticNetTopology:
         """Construct the deployment this scenario describes."""
         site = SITE_CATALOG[self.site]
@@ -316,8 +341,16 @@ class NetScenario:
                 mode=self.arq,
             )
         )
+        topology = self.build_topology()
+        faults = None
+        if self.faults_json:
+            from repro.faults import FaultInjector
+
+            schedule = self.fault_schedule()
+            schedule.validate_names(topology.names)
+            faults = FaultInjector(schedule)
         return NetworkSimulator(
-            topology=self.build_topology(),
+            topology=topology,
             routing=build_routing(self.routing),
             link_model=self.build_link_model(),
             arq=arq,
@@ -330,6 +363,7 @@ class NetScenario:
                 if self.queue_capacity is not None
                 else None
             ),
+            faults=faults,
         )
 
     # ------------------------------------------------------------------- misc
@@ -361,6 +395,13 @@ class NetScenario:
             None if self.arq == "none" else self.arq,
             None if self.cc == "fixed" else f"cc {self.cc}",
             None if self.num_flows is None else f"{self.num_flows} flows",
+            None
+            if not self.faults_json
+            else (
+                "faults"
+                if self.fault_schedule().repair
+                else "faults (no repair)"
+            ),
             f"{self.traffic} {self.duration_s:g} s",
             f"seed {self.seed}",
         ]

@@ -1,0 +1,46 @@
+"""Deterministic fault injection and resilience for :mod:`repro.net`.
+
+The package splits the problem into three pieces:
+
+* :mod:`repro.faults.schedule` -- the *what*: a versioned,
+  JSON-serializable :class:`FaultSchedule` of explicit timed fault
+  events plus a seeded stochastic :class:`ChurnProcess` generator.
+* :mod:`repro.faults.liveness` -- the *observation*: a beacon-style
+  :class:`NeighborLivenessTracker` that declares nodes dead only after a
+  miss-threshold of silence and rediscovers them when they speak again.
+* :mod:`repro.faults.injector` -- the *how*: a :class:`FaultInjector`
+  that hooks one :class:`~repro.net.simulator.NetworkSimulator` run,
+  drives crashes/recoveries/link windows from its own seeded generator
+  (the simulation's RNG stream is never touched), and -- when the
+  schedule enables repair -- feeds observed silence into topology
+  eviction, route recomputation, proactive flow aborts and SOS
+  re-flooding.
+
+Determinism guarantee: the same (scenario seed, schedule) pair replays
+bit-identically, and an *empty* schedule installs nothing at all, so a
+fault-free run is byte-identical to one built without the faults layer.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.liveness import NeighborLivenessTracker
+from repro.faults.schedule import (
+    FAULT_KINDS,
+    FAULTS_FORMAT,
+    FAULTS_VERSION,
+    ChurnProcess,
+    FaultEvent,
+    FaultSchedule,
+    load_schedule,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULTS_FORMAT",
+    "FAULTS_VERSION",
+    "ChurnProcess",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "NeighborLivenessTracker",
+    "load_schedule",
+]

@@ -113,6 +113,25 @@ class NetworkMetrics:
         #: to_dict()/summary().  Off by default: legacy fixed-window runs
         #: must keep their committed report schema bit for bit.
         self.congestion_enabled = False
+        #: Whether the fault-injection subsystem's extra report fields
+        #: (drop/abort reasons, churn delivery, repair times) are
+        #: included in to_dict()/summary().  Set by a non-empty
+        #: FaultInjector at install time; off by default for the same
+        #: schema-stability reason as :attr:`congestion_enabled`.
+        self.resilience_enabled = False
+        #: Lost payloads by first observed cause (ttl/void/queue-drop/
+        #: dest-dead/source-dead/expired).
+        self.drop_reasons: dict[str, int] = {}
+        #: Aborted ARQ flows by cause (max-retry/dest-dead/source-dead/
+        #: no-route).
+        self.abort_reasons: dict[str, int] = {}
+        #: Payloads offered/delivered while at least one node was down.
+        self.churn_offered = 0
+        self.churn_delivered = 0
+        #: Crash-to-observed-repair latencies (liveness detection).
+        self.repair_times_s: list[float] = []
+        self.node_crashes = 0
+        self.node_recoveries = 0
         #: Run duration recorded by the simulator; per-flow goodputs need
         #: it (``None`` until a run finishes).
         self.duration_s: float | None = None
@@ -129,6 +148,7 @@ class NetworkMetrics:
         self._flow_retrans = np.zeros(_INITIAL_CAPACITY, dtype=np.int64)
         self._flow_timeouts = np.zeros(_INITIAL_CAPACITY, dtype=np.int64)
         self._flow_queue_drops = np.zeros(_INITIAL_CAPACITY, dtype=np.int64)
+        self._flow_lost = np.zeros(_INITIAL_CAPACITY, dtype=np.int64)
         self._flow_aborted = np.zeros(_INITIAL_CAPACITY, dtype=np.int8)
         self._flow_cwnd: list[CwndTrajectory | None] = []
         self._uid = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
@@ -307,7 +327,8 @@ class NetworkMetrics:
         for name in (
             "_flow_source_id", "_flow_dest_id", "_flow_offered",
             "_flow_delivered", "_flow_bits", "_flow_retrans",
-            "_flow_timeouts", "_flow_queue_drops", "_flow_aborted",
+            "_flow_timeouts", "_flow_queue_drops", "_flow_lost",
+            "_flow_aborted",
         ):
             arena = getattr(self, name)
             setattr(
@@ -347,6 +368,37 @@ class NetworkMetrics:
     def flow_queue_drop(self, slot: int) -> None:
         """A segment of this flow was refused by a full node buffer."""
         self._flow_queue_drops[slot] += 1
+
+    def flow_lost(self, slot: int) -> None:
+        """One payload of this flow was finalized as lost."""
+        self._flow_lost[slot] += 1
+
+    # ------------------------------------------------------------- resilience
+    def record_drop_reason(self, reason: str) -> None:
+        """Count one lost payload under its first observed cause."""
+        self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + 1
+
+    def record_abort_reason(self, reason: str) -> None:
+        """Count one aborted ARQ flow under its cause."""
+        self.abort_reasons[reason] = self.abort_reasons.get(reason, 0) + 1
+
+    def record_repair(self, elapsed_s: float) -> None:
+        """Record one crash-to-observed-eviction repair latency."""
+        self.repair_times_s.append(float(elapsed_s))
+
+    @property
+    def mean_time_to_repair_s(self) -> float:
+        """Mean latency from a crash to its neighbourhood evicting it."""
+        if not self.repair_times_s:
+            return float("nan")
+        return float(np.mean(self.repair_times_s))
+
+    @property
+    def pdr_under_churn(self) -> float:
+        """Delivery ratio of payloads offered while a node was down."""
+        if not self.churn_offered:
+            return float("nan")
+        return self.churn_delivered / self.churn_offered
 
     def finalize_flow(
         self,
@@ -440,6 +492,8 @@ class NetworkMetrics:
                 "queue_drops": int(self._flow_queue_drops[slot]),
                 "aborted": bool(self._flow_aborted[slot]),
             }
+            if self.resilience_enabled:
+                entry["lost"] = int(self._flow_lost[slot])
             if trajectory is not None and len(trajectory):
                 entry["final_cwnd"] = trajectory.cwnds[-1]
                 entry["cwnd_samples"] = len(trajectory)
@@ -484,6 +538,16 @@ class NetworkMetrics:
             data["jain_fairness_index"] = self.jain_fairness()
             data["aggregate_goodput_bps"] = self.aggregate_goodput_bps
             data["flows"] = self.per_flow()
+        if self.resilience_enabled:
+            data["drop_reasons"] = dict(sorted(self.drop_reasons.items()))
+            data["abort_reasons"] = dict(sorted(self.abort_reasons.items()))
+            data["node_crashes"] = self.node_crashes
+            data["node_recoveries"] = self.node_recoveries
+            data["repairs"] = len(self.repair_times_s)
+            data["mean_time_to_repair_s"] = self.mean_time_to_repair_s
+            data["churn_offered"] = self.churn_offered
+            data["churn_delivered"] = self.churn_delivered
+            data["pdr_under_churn"] = self.pdr_under_churn
         return data
 
     def summary(self) -> str:
@@ -525,4 +589,32 @@ class NetworkMetrics:
                             f"{row['queue_drops']} queue drops"
                             + (" [ABORTED]" if row["aborted"] else "")
                         )
+        if self.resilience_enabled:
+            lines.append(
+                f"  node churn               : {self.node_crashes} crashes, "
+                f"{self.node_recoveries} recoveries"
+            )
+            if self.repair_times_s:
+                lines.append(
+                    f"  route repair             : {len(self.repair_times_s)} "
+                    f"evictions, mean time-to-repair "
+                    f"{self.mean_time_to_repair_s:.1f} s"
+                )
+            if self.churn_offered:
+                lines.append(
+                    f"  delivery under churn     : {self.churn_delivered}/"
+                    f"{self.churn_offered} (PDR {self.pdr_under_churn:.1%})"
+                )
+            if self.drop_reasons:
+                reasons = ", ".join(
+                    f"{name} {count}"
+                    for name, count in sorted(self.drop_reasons.items())
+                )
+                lines.append(f"  drop reasons             : {reasons}")
+            if self.abort_reasons:
+                reasons = ", ".join(
+                    f"{name} {count}"
+                    for name, count in sorted(self.abort_reasons.items())
+                )
+                lines.append(f"  abort reasons            : {reasons}")
         return "\n".join(lines)

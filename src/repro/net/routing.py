@@ -73,9 +73,17 @@ class StaticShortestPathRouting(RoutingProtocol):
         self._next_hop: dict[tuple[str, str], str] = {}
 
     def prepare(self, topology: AcousticNetTopology) -> None:
-        """Run Dijkstra from every node (the grids here are small)."""
+        """Run Dijkstra from every live node (the grids here are small).
+
+        Re-invoked on membership change (fault repair) as well as after
+        mobility; dead nodes are skipped as sources and, because they
+        are absent from every neighbour table, never appear as relays
+        or reachable destinations.
+        """
         self._next_hop.clear()
         for source in topology.names:
+            if not topology.is_active(source):
+                continue
             self._single_source(source, topology)
 
     def _single_source(self, source: str, topology: AcousticNetTopology) -> None:
@@ -162,7 +170,7 @@ class GreedyForwarding(RoutingProtocol):
         if destination in table.slot:
             return (destination,)
         if self.mode == "distance":
-            if destination not in topology:
+            if destination not in topology or not topology.is_active(destination):
                 return ()
             own = topology.distance_m(node, destination)
             # One vectorized distance sweep over the cached neighbour set;
@@ -196,7 +204,7 @@ class GreedyForwarding(RoutingProtocol):
         if destination in neighbors:
             return (destination,)
         if self.mode == "distance":
-            if destination not in topology:
+            if destination not in topology or not topology.is_active(destination):
                 return ()
             own = topology.distance_m(node, destination)
             best = min(neighbors, key=lambda n: topology.distance_m(n, destination))

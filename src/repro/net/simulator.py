@@ -20,6 +20,7 @@ rather than scripted.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import sys
 import time
@@ -67,11 +68,18 @@ class NetObserver:
     def on_delivery(self, record: DeliveryRecord) -> None:
         """A payload reached (one of) its destination(s)."""
 
-    def on_drop(self, record: DeliveryRecord, time_s: float) -> None:
-        """A payload was finalized as lost when the run drained."""
+    def on_drop(self, record: DeliveryRecord, time_s: float, reason: str = "") -> None:
+        """A payload was finalized as lost when the run drained.
 
-    def on_flow_abort(self, time_s: float, flow_id: str) -> None:
-        """An ARQ flow exhausted its retries and was aborted."""
+        ``reason`` names the first cause observed for the payload
+        (``ttl``, ``void``, ``queue-drop``, ``dest-dead``,
+        ``source-dead``; ``expired`` when nothing more specific was
+        seen).
+        """
+
+    def on_flow_abort(self, time_s: float, flow_id: str, reason: str = "") -> None:
+        """An ARQ flow was aborted (``max-retry``, ``dest-dead``,
+        ``source-dead`` or ``no-route``)."""
 
 
 @dataclass
@@ -84,6 +92,9 @@ class _NodeState:
     seen_uids: set = field(default_factory=set)
     #: Pending/recent reception intervals: [start, end, event-or-None].
     receptions: list = field(default_factory=list)
+    #: Physical liveness (fault injection); a dead node neither receives
+    #: nor transmits, but stays in routing views until *observed* dead.
+    alive: bool = True
 
 
 @dataclass
@@ -95,6 +106,10 @@ class _PendingDelivery:
     destination: str
     created_s: float
     kind: str
+    #: First observed cause of loss ("" until a copy dies with a cause).
+    reason: str = ""
+    #: Whether the payload was offered while some node was down.
+    churn: bool = False
 
 
 @dataclass
@@ -198,6 +213,12 @@ class NetworkSimulator:
     flow_accounting:
         Force per-flow metrics on/off; ``None`` enables them
         automatically when ``cc`` is non-fixed or a relay queue is set.
+    faults:
+        Optional fault injector (duck-typed: anything with an
+        ``install(simulator)`` method, canonically
+        :class:`repro.faults.FaultInjector`).  An injector whose
+        schedule is empty installs nothing, keeping the run bit-identical
+        to ``faults=None``.
     """
 
     def __init__(
@@ -215,6 +236,7 @@ class NetworkSimulator:
         cc: str | Callable[[], CongestionController] = "fixed",
         relay_queue: RelayQueueConfig | None = None,
         flow_accounting: bool | None = None,
+        faults: object | None = None,
     ) -> None:
         if topology.num_nodes < 2:
             raise ValueError("the network needs at least two nodes")
@@ -267,6 +289,13 @@ class NetworkSimulator:
         self._receivers: dict[str, ArqReceiver] = {}
         self._flow_epochs: dict[tuple[str, str], int] = {}
         self._flow_timers: dict[tuple[str, str], Event] = {}
+        self.faults = faults
+        #: Set by a non-empty injector at install time; ``None`` keeps
+        #: every fault-path branch a single attribute test, so the
+        #: fault-free run is bit-identical to the pre-faults simulator.
+        self._fault_hooks = None
+        #: Broadcast payloads kept for recovery re-flooding (faults only).
+        self._broadcast_store: dict[int, NetPacket] = {}
         self._ran = False
 
     # -------------------------------------------------------------- injection
@@ -322,6 +351,8 @@ class NetworkSimulator:
                     message.size_bits,
                 )
         self.routing.prepare(self.topology)
+        if self.faults is not None:
+            self.faults.install(self)
         if self.mobility_interval_s is not None:
             self._scheduler.after(self.mobility_interval_s, self._on_mobility_step)
         self._drain(until_s, max_events, progress)
@@ -402,7 +433,23 @@ class NetworkSimulator:
 
     def _finalize_lost(self) -> None:
         now = self._scheduler.now_s
+        metrics = self._metrics
+        hooks = self._fault_hooks
         for pending in self._pending.values():
+            # In-flight payloads are charged to their flow as losses, not
+            # leaked as forever-pending epoch state: a destination that
+            # disappeared mid-flight still settles its flow's books.
+            slot = self._payload_flow.pop(pending.uid, None)
+            if slot is not None:
+                metrics.flow_lost(slot)
+            self._payload_sizes.pop(pending.uid, None)
+            reason = pending.reason
+            if not reason:
+                if hooks is not None and not self._nodes[pending.destination].alive:
+                    reason = "dest-dead"
+                else:
+                    reason = "expired"
+            metrics.record_drop_reason(reason)
             if self._observed:
                 record = DeliveryRecord(
                     uid=pending.uid,
@@ -411,10 +458,10 @@ class NetworkSimulator:
                     created_s=pending.created_s,
                     kind=pending.kind,
                 )
-                self._metrics.add(record)
-                self.observer.on_drop(record, now)
+                metrics.add(record)
+                self.observer.on_drop(record, now, reason)
             else:
-                self._metrics.record_delivery(
+                metrics.record_delivery(
                     pending.uid, pending.source, pending.destination,
                     pending.created_s, kind=pending.kind,
                 )
@@ -423,6 +470,11 @@ class NetworkSimulator:
     # -------------------------------------------------------------- app layer
     def _on_app_message(self, message: AppMessage) -> None:
         now = self._scheduler.now_s
+        hooks = self._fault_hooks
+        churn = hooks is not None and hooks.any_down
+        base_reason = ""
+        if hooks is not None and not self._nodes[message.source].alive:
+            base_reason = "source-dead"
         if message.destination == BROADCAST:
             uid = next(self._uids)
             # One pending record per potential receiver: broadcast PDR is
@@ -430,21 +482,30 @@ class NetworkSimulator:
             for name in self.topology.names:
                 if name != message.source:
                     self._pending[(name, uid)] = _PendingDelivery(
-                        uid, message.source, name, now, "broadcast"
+                        uid, message.source, name, now, "broadcast",
+                        reason=base_reason, churn=churn,
                     )
+                    if churn:
+                        self._metrics.churn_offered += 1
             packet = NetPacket(
                 uid=uid, kind="raw", source=message.source,
                 destination=BROADCAST, created_s=now, ttl=self.ttl,
                 size_bits=message.size_bits,
             )
+            if hooks is not None:
+                # Remembered for re-flooding toward recovered nodes.
+                self._broadcast_store[uid] = packet
             self.observer.on_send(now, uid, message, "broadcast")
             self._enqueue(message.source, packet)
             return
         if self.arq is None:
             uid = next(self._uids)
             self._pending[(message.destination, uid)] = _PendingDelivery(
-                uid, message.source, message.destination, now, "raw"
+                uid, message.source, message.destination, now, "raw",
+                reason=base_reason, churn=churn,
             )
+            if churn:
+                self._metrics.churn_offered += 1
             packet = NetPacket(
                 uid=uid, kind="raw", source=message.source,
                 destination=message.destination, created_s=now, ttl=self.ttl,
@@ -454,6 +515,21 @@ class NetworkSimulator:
             self._enqueue(message.source, packet)
             return
         # Reliable flow: the payload *is* the delivery-record uid.
+        if base_reason or (
+            hooks is not None and hooks.observed_dead(message.destination)
+        ):
+            # Graceful degradation: a dead source cannot open a flow, and
+            # a source that has *observed* its destination dead refuses
+            # the payload up front instead of burning a retry budget.
+            uid = next(self._uids)
+            self._pending[(message.destination, uid)] = _PendingDelivery(
+                uid, message.source, message.destination, now, "data",
+                reason=base_reason or "dest-dead", churn=churn,
+            )
+            if churn:
+                self._metrics.churn_offered += 1
+            self.observer.on_send(now, uid, message, "data")
+            return
         key = (message.source, message.destination)
         sender = self._senders.get(key)
         if sender is None or sender.failed:
@@ -468,8 +544,10 @@ class NetworkSimulator:
                 self._metrics.register_flow(sender.flow_id, key[0], key[1])
         uid = next(self._uids)
         self._pending[(message.destination, uid)] = _PendingDelivery(
-            uid, message.source, message.destination, now, "data"
+            uid, message.source, message.destination, now, "data", churn=churn
         )
+        if churn:
+            self._metrics.churn_offered += 1
         self._payload_sizes[uid] = message.size_bits
         if self._flow_accounting:
             slot = self._metrics.flow_slot(sender.flow_id)
@@ -536,8 +614,93 @@ class NetworkSimulator:
         for segment in sender.on_timeout(self._scheduler.now_s):
             self._enqueue(key[0], self._segment_packet(key, segment))
         if sender.failed and not was_failed:
-            self.observer.on_flow_abort(self._scheduler.now_s, sender.flow_id)
+            reason = self._abort_reason(key)
+            self._metrics.record_abort_reason(reason)
+            self.observer.on_flow_abort(
+                self._scheduler.now_s, sender.flow_id, reason
+            )
         self._arm_flow_timer(key)
+
+    def _abort_reason(self, key: tuple[str, str]) -> str:
+        """Classify a flow abort; fault context refines plain max-retry."""
+        if self._fault_hooks is not None:
+            source, destination = key
+            if not self._nodes[destination].alive:
+                return "dest-dead"
+            if not self._nodes[source].alive:
+                return "source-dead"
+            if not self._route_exists(source, destination):
+                return "no-route"
+        return "max-retry"
+
+    def _route_exists(self, source: str, destination: str) -> bool:
+        routing = self.routing
+        has_route = getattr(routing, "has_route", None)
+        if has_route is not None:
+            return bool(has_route(source, destination))
+        probe = NetPacket(
+            uid=-1, kind="data", source=source, destination=destination,
+            created_s=self._scheduler.now_s, ttl=self.ttl,
+        )
+        return bool(routing.next_hops(source, probe, self.topology))
+
+    # ----------------------------------------------------------------- faults
+    def fail_node(self, name: str) -> None:
+        """Physically crash a node: no reception, relaying or sending.
+
+        Deliberately *not* a topology change -- the dead node stays in
+        every neighbour table and route until the liveness layer observes
+        its silence (or forever, with repair disabled), so senders keep
+        wasting airtime into it exactly as a real network would.
+        """
+        node = self._nodes[name]
+        if not node.alive:
+            return
+        node.alive = False
+        node.queue.clear()
+        for entry in node.receptions:
+            event = entry[2]
+            if event is not None and not event.cancelled:
+                self._scheduler.cancel(event)
+        node.receptions.clear()
+
+    def recover_node(self, name: str) -> None:
+        """Bring a crashed node back up (with an empty queue and no
+        memory of in-flight receptions)."""
+        node = self._nodes[name]
+        node.alive = True
+
+    def reflood_broadcasts(self, name: str) -> None:
+        """Ask an informed live neighbour to re-flood each broadcast the
+        recovered node ``name`` is still missing (SOS recovery path)."""
+        node = self._nodes[name]
+        if not node.alive or not self._broadcast_store:
+            return
+        table = self.topology.neighbor_table(name)
+        for uid, packet in self._broadcast_store.items():
+            if (name, uid) not in self._pending or uid in node.seen_uids:
+                continue
+            for neighbor in table.names:
+                helper = self._nodes[neighbor]
+                if helper.alive and uid in helper.seen_uids:
+                    self._enqueue(
+                        neighbor, dataclasses.replace(packet, ttl=self.ttl)
+                    )
+                    break
+
+    def abort_flows_to(self, destination: str, reason: str) -> None:
+        """Proactively abort live flows toward an observed-dead
+        destination instead of letting them burn their retry budgets."""
+        now = self._scheduler.now_s
+        for key, sender in self._senders.items():
+            if key[1] != destination or sender.failed or sender.done:
+                continue
+            sender.fail()
+            timer = self._flow_timers.pop(key, None)
+            if timer is not None:
+                self._scheduler.cancel(timer)
+            self._metrics.record_abort_reason(reason)
+            self.observer.on_flow_abort(now, sender.flow_id, reason)
 
     # --------------------------------------------------------------- mobility
     def _on_mobility_step(self) -> None:
@@ -549,10 +712,13 @@ class NetworkSimulator:
     # ------------------------------------------------------------ transmitting
     def _enqueue(self, node_name: str, packet: NetPacket) -> None:
         node = self._nodes[node_name]
+        if not node.alive:
+            return
         if self.relay_queue is not None and not self.relay_queue.admit(
             len(node.queue), self._rng
         ):
             self._metrics.queue_drops += 1
+            self._note_copy_drop(packet, "queue-drop")
             if self._flow_accounting and packet.segment is not None:
                 slot = self._metrics.flow_slot(packet.segment.flow_id)
                 if slot is not None:
@@ -560,6 +726,17 @@ class NetworkSimulator:
             return
         node.queue.append(packet)
         self._service(node)
+
+    def _note_copy_drop(self, packet: NetPacket, cause: str) -> None:
+        """Attribute a dying packet copy to its payload's pending record,
+        so the eventual lost record carries a cause, not just "expired"."""
+        if packet.kind == "ack" or packet.destination == BROADCAST:
+            return
+        segment = packet.segment
+        uid = segment.payload if segment is not None else packet.uid
+        pending = self._pending.get((packet.destination, uid))
+        if pending is not None and not pending.reason:
+            pending.reason = cause
 
     def _targets_for(self, node_name: str, packet: NetPacket) -> tuple[str, ...]:
         if packet.destination == BROADCAST:
@@ -578,6 +755,8 @@ class NetworkSimulator:
         """
         scheduler = self._scheduler
         now = scheduler._now_s
+        if not node.alive:
+            return
         if node.tx_busy_until_s > now:
             return  # _on_tx_done will call back
         queue = node.queue
@@ -601,6 +780,7 @@ class NetworkSimulator:
             packet = queue.popleft()
             if packet.ttl <= 0:
                 metrics.ttl_drops += 1
+                self._note_copy_drop(packet, "ttl")
                 continue
             # _targets_for, inlined (this loop runs once per queued packet).
             if packet.destination == BROADCAST:
@@ -612,6 +792,7 @@ class NetworkSimulator:
             if not targets:
                 if packet.destination != BROADCAST and routing.reports_voids:
                     metrics.routing_voids += 1
+                    self._note_copy_drop(packet, "void")
                 continue
             self._transmit(node, packet, targets)
             return
@@ -703,6 +884,14 @@ class NetworkSimulator:
                     topology._version, receivers, delays, target_slot,
                     farthest, airtime,
                 )
+        if self._fault_hooks is not None:
+            # Link blackout/degradation windows, noise bursts and the
+            # per-node energy ledger all live behind this one call; the
+            # injector draws from its *own* generator, leaving the
+            # simulation stream untouched.
+            self._fault_hooks.on_transmit(
+                node.name, receivers, outcome_row, airtime, now
+            )
         node.tx_busy_until_s = now + airtime
         metrics.transmissions += 1
         metrics.tx_airtime_s += airtime
@@ -787,6 +976,8 @@ class NetworkSimulator:
     def _on_receive(
         self, node: _NodeState, packet: NetPacket, start_s: float = float("-inf")
     ) -> None:
+        if not node.alive:
+            return  # crashed while the packet was in flight
         # Half duplex, re-checked at reception end: the node may have begun
         # transmitting *after* this reception was scheduled but before (or
         # while) the packet arrived; any own transmission overlapping
@@ -834,6 +1025,8 @@ class NetworkSimulator:
         pending = self._pending.pop((node_name, uid), None)
         if pending is None:
             return
+        if pending.churn:
+            self._metrics.churn_delivered += 1
         slot = self._payload_flow.pop(uid, None)
         if slot is not None:
             self._metrics.flow_delivered(slot, self._payload_sizes.get(uid, 16))

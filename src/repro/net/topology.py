@@ -132,6 +132,10 @@ class AcousticNetTopology:
         self._index: dict[str, int] = {}
         self._xyz = np.empty((_INITIAL_CAPACITY, 3), dtype=float)
         self._vel = np.empty((_INITIAL_CAPACITY, 3), dtype=float)
+        #: Liveness mask: inactive nodes keep their slot (positions still
+        #: advance under mobility) but vanish from the spatial grid and
+        #: every neighbour table until :meth:`reactivate`.
+        self._active = np.ones(_INITIAL_CAPACITY, dtype=bool)
         self._names_tuple: tuple[str, ...] | None = ()
         #: Name array for vectorized tie-breaking; rebuilt lazily.
         self._name_keys: np.ndarray | None = None
@@ -162,10 +166,12 @@ class AcousticNetTopology:
         if index == self._xyz.shape[0]:
             self._xyz = np.concatenate([self._xyz, np.empty_like(self._xyz)])
             self._vel = np.concatenate([self._vel, np.empty_like(self._vel)])
+            self._active = np.concatenate([self._active, np.ones_like(self._active)])
             if self._cells is not None:
                 self._cells = np.concatenate([self._cells, np.empty_like(self._cells)])
         self._xyz[index] = (float(x_m), float(y_m), self._clamp_depth(depth_m))
         self._vel[index] = tuple(float(v) for v in velocity_m_s)
+        self._active[index] = True
         self._names.append(name)
         self._index[name] = index
         self._count = index + 1
@@ -176,6 +182,74 @@ class AcousticNetTopology:
             self._cells[index] = cell
             self._buckets.setdefault(cell, []).append(index)
         self._version += 1
+
+    def remove_node(self, name: str) -> None:
+        """Permanently delete a node, compacting the position arrays.
+
+        O(N): the remaining rows shift down one slot and every lazy
+        cache (grid, name keys, neighbour tables) rebuilds on next use.
+        For transient outages prefer :meth:`deactivate`, which is O(1)
+        and keeps the slot for :meth:`reactivate`.
+        """
+        index = self.index_of(name)
+        count = self._count
+        for attr in ("_xyz", "_vel", "_active"):
+            old = getattr(self, attr)
+            new = np.empty_like(old)
+            new[:index] = old[:index]
+            new[index : count - 1] = old[index + 1 : count]
+            setattr(self, attr, new)
+        del self._names[index]
+        self._count = count - 1
+        self._index = {node: slot for slot, node in enumerate(self._names)}
+        self._names_tuple = None
+        self._name_keys = None
+        self._buckets = None
+        self._cells = None
+        self._tables.pop(name, None)
+        self._version += 1
+
+    def deactivate(self, name: str) -> None:
+        """Take a node out of the network without forgetting its slot.
+
+        The node disappears from the spatial grid, every neighbour table
+        and routing view; its position keeps advancing under mobility so
+        :meth:`reactivate` resumes from wherever it drifted.  Idempotent.
+        """
+        index = self.index_of(name)
+        if not self._active[index]:
+            return
+        self._active[index] = False
+        if self._buckets is not None:
+            cell = (int(self._cells[index, 0]), int(self._cells[index, 1]))
+            bucket = self._buckets.get(cell)
+            if bucket is not None and index in bucket:
+                bucket.remove(index)
+                if not bucket:
+                    del self._buckets[cell]
+        self._version += 1
+
+    def reactivate(self, name: str) -> None:
+        """Return a deactivated node to the network at its current position."""
+        index = self.index_of(name)
+        if self._active[index]:
+            return
+        self._active[index] = True
+        if self._buckets is not None:
+            cell = self._cell_of(index)
+            self._cells[index] = cell
+            self._buckets.setdefault(cell, []).append(index)
+        self._version += 1
+
+    def is_active(self, name: str) -> bool:
+        """Whether ``name`` is a live member of the network."""
+        return bool(self._active[self.index_of(name)])
+
+    @property
+    def active_names(self) -> tuple[str, ...]:
+        """Names of live nodes, insertion order."""
+        active = self._active
+        return tuple(name for slot, name in enumerate(self._names) if active[slot])
 
     @property
     def names(self) -> tuple[str, ...]:
@@ -234,8 +308,13 @@ class AcousticNetTopology:
         return self.distance_m(a, b) / SOUND_SPEED_M_S
 
     def are_neighbors(self, a: str, b: str) -> bool:
-        """Whether two distinct nodes are within communication range."""
-        return a != b and self.distance_m(a, b) <= self.comm_range_m
+        """Whether two distinct *live* nodes are within communication range."""
+        return (
+            a != b
+            and self.is_active(a)
+            and self.is_active(b)
+            and self.distance_m(a, b) <= self.comm_range_m
+        )
 
     def neighbors(self, name: str) -> tuple[str, ...]:
         """Names of all nodes within range of ``name``, nearest first."""
@@ -308,6 +387,8 @@ class AcousticNetTopology:
         self._cells[:count] = cells[:count]
         buckets: dict[tuple[int, int], list[int]] = {}
         for index in range(count):
+            if not self._active[index]:
+                continue
             buckets.setdefault(
                 (int(cells[index, 0]), int(cells[index, 1])), []
             ).append(index)
@@ -324,6 +405,11 @@ class AcousticNetTopology:
         changed = np.nonzero((new_cells != self._cells[:count]).any(axis=1))[0]
         for raw in changed:
             index = int(raw)
+            if not self._active[index]:
+                # Deactivated nodes are in no bucket; their cell record
+                # still tracks drift (final assignment below) so
+                # reactivation re-inserts at the right cell.
+                continue
             old = (int(self._cells[index, 0]), int(self._cells[index, 1]))
             new = (int(new_cells[index, 0]), int(new_cells[index, 1]))
             bucket = self._buckets[old]

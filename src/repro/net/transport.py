@@ -256,6 +256,16 @@ class ArqSender:
             self._next += 1
         return segments
 
+    def fail(self) -> None:
+        """Abort the flow from outside the ARQ state machine.
+
+        Used by the fault layer when the peer is observed dead: the flow
+        stops exactly as if its retry budget had been exhausted (no more
+        transmissions, no timer deadlines), without burning the budget.
+        """
+        self.failed = True
+        self._in_flight.clear()
+
     def _retransmit(self, absolute: int, now_s: float) -> Segment | None:
         """Retransmit one in-flight segment, aborting the flow when spent."""
         state = self._in_flight[absolute]

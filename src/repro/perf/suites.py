@@ -356,6 +356,24 @@ def net_suite(quick: bool = False) -> list[Benchmark]:
         timeout_s=3.0, max_retries=20, window_size=8, queue_capacity=6,
         seed=1, label="multiflow-24flow",
     )
+    # Churn-under-repair: a 24-node grid with seeded node churn and the
+    # full resilience response (beacon ticks, topology eviction/re-entry,
+    # route recomputation, proactive aborts).  Guards the cost of the
+    # fault layer's hot hooks and of repeated routing.prepare calls; the
+    # schedule is built inline so the benchmark stays self-contained.
+    from repro.faults import ChurnProcess, FaultSchedule
+
+    churn_repair = NetScenario(
+        num_nodes=24, topology="grid", routing="shortest-path",
+        arq="go-back-n", rate_msgs_per_s=0.03, duration_s=300.0,
+        destination="n23", seed=7, label="churn-repair",
+    ).with_faults(FaultSchedule(
+        churn=ChurnProcess(
+            rate_per_node_per_s=0.008, mean_downtime_s=60.0,
+            end_s=300.0, seed=42, protect=("n0", "n23"),
+        ),
+        beacon_interval_s=5.0, miss_threshold=2,
+    ))
     # Event-throughput probe: a mid-size ARQ scenario with a fixed event
     # count, reported as events/s so dispatch-layer regressions show up
     # independently of scenario shape.
@@ -419,6 +437,17 @@ def net_suite(quick: bool = False) -> list[Benchmark]:
             metadata={
                 "nodes": 25, "flows": 24, "cc": "reno",
                 "queue_capacity": 6,
+            },
+        ),
+        Benchmark(
+            name="net_churn_repair",
+            func=lambda: churn_repair.run(),
+            items_per_call=1,
+            unit="runs",
+            repeats=_repeats(quick, 10, 2),
+            metadata={
+                "nodes": 24, "routing": "shortest-path",
+                "churn_rate_per_s": 0.008, "repair": True,
             },
         ),
         Benchmark(

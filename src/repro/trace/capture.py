@@ -47,20 +47,20 @@ class TraceRecorder(NetObserver):
             )
         )
 
-    def on_drop(self, record: DeliveryRecord, time_s: float) -> None:
+    def on_drop(self, record: DeliveryRecord, time_s: float, reason: str = "") -> None:
         self.events.append(
             TraceEvent(
                 time_s=time_s, event="drop", uid=record.uid,
                 source=record.source, destination=record.destination,
-                kind=record.kind,
+                kind=record.kind, reason=reason,
             )
         )
 
-    def on_flow_abort(self, time_s: float, flow_id: str) -> None:
+    def on_flow_abort(self, time_s: float, flow_id: str, reason: str = "") -> None:
         self.events.append(
             TraceEvent(
                 time_s=time_s, event="abort", uid=-1,
-                source="", destination="", flow_id=flow_id,
+                source="", destination="", flow_id=flow_id, reason=reason,
             )
         )
 

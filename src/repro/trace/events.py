@@ -13,10 +13,14 @@ simulation time.  Two serializations are provided:
   the form million-event traces are analysed and archived in.
 
 Schema versioning rules: ``version`` is bumped whenever a field changes
-meaning or a required field is added; loaders accept the current version
-only (a trace is an experiment artifact, not a config file -- silently
-reinterpreting old captures would corrupt comparisons).  New *optional*
-header metadata may be added freely under ``meta``.
+meaning or a required field is added; loaders accept the versions listed
+in :data:`SUPPORTED_TRACE_VERSIONS` -- the current one plus older
+versions that read correctly as a subset of it (a trace is an experiment
+artifact, not a config file -- silently reinterpreting incompatible old
+captures would corrupt comparisons).  Version history: v1 is the original
+schema; v2 adds the optional per-event ``reason`` field (drop/abort
+causes), so every v1 document is a valid v2 document with empty reasons.
+New *optional* header metadata may be added freely under ``meta``.
 """
 
 from __future__ import annotations
@@ -30,7 +34,10 @@ import numpy as np
 TRACE_FORMAT = "repro.trace"
 
 #: Current schema version (see module docstring for the bump rules).
-TRACE_VERSION = 1
+TRACE_VERSION = 2
+
+#: Versions the loaders accept (older ones read as subsets of current).
+SUPPORTED_TRACE_VERSIONS = (1, 2)
 
 #: Event kinds, in their columnar integer encoding order.
 EVENT_KINDS = ("send", "deliver", "drop", "abort")
@@ -66,6 +73,9 @@ class TraceEvent:
         Payload kind, one of :data:`PAYLOAD_KINDS`.
     flow_id:
         Aborted flow identifier (abort events; ``""`` elsewhere).
+    reason:
+        Why a payload was dropped or a flow aborted (drop/abort events,
+        schema v2+; ``""`` elsewhere or in v1 captures).
     """
 
     time_s: float
@@ -77,6 +87,7 @@ class TraceEvent:
     hop_count: int = 0
     kind: str = ""
     flow_id: str = ""
+    reason: str = ""
 
     def __post_init__(self) -> None:
         if self.event not in EVENT_KINDS:
@@ -106,6 +117,8 @@ class TraceEvent:
             data["kind"] = self.kind
         if self.flow_id:
             data["flow"] = self.flow_id
+        if self.reason:
+            data["reason"] = self.reason
         return data
 
     @classmethod
@@ -121,6 +134,7 @@ class TraceEvent:
             hop_count=int(data.get("hops", 0)),
             kind=str(data.get("kind", "")),
             flow_id=str(data.get("flow", "")),
+            reason=str(data.get("reason", "")),
         )
 
 
@@ -190,9 +204,10 @@ class Trace:
                 f"not a {TRACE_FORMAT} document (format={header.get('format')!r})"
             )
         version = int(header.get("version", -1))
-        if version != TRACE_VERSION:
+        if version not in SUPPORTED_TRACE_VERSIONS:
+            supported = ", ".join(str(v) for v in SUPPORTED_TRACE_VERSIONS)
             raise ValueError(
-                f"unsupported trace version {version} (supported: {TRACE_VERSION})"
+                f"unsupported trace version {version} (supported: {supported})"
             )
         events = [TraceEvent.from_dict(json.loads(line)) for line in lines[1:]]
         declared = header.get("num_events")
@@ -230,6 +245,8 @@ class Trace:
         name_index = {name: i for i, name in enumerate(names)}
         flows = sorted({event.flow_id for event in self.events if event.flow_id})
         flow_index = {flow: i for i, flow in enumerate(flows)}
+        reasons = sorted({event.reason for event in self.events if event.reason})
+        reason_index = {reason: i for i, reason in enumerate(reasons)}
         event_code = {kind: i for i, kind in enumerate(EVENT_KINDS)}
         payload_code = {kind: i for i, kind in enumerate(PAYLOAD_KINDS)}
         n = len(self.events)
@@ -243,6 +260,7 @@ class Trace:
             "hop_count": np.zeros(n, dtype=np.int16),
             "kind": np.zeros(n, dtype=np.uint8),
             "flow": np.full(n, -1, dtype=np.int32),
+            "reason": np.full(n, -1, dtype=np.int32),
         }
         for i, event in enumerate(self.events):
             columns["time_s"][i] = event.time_s
@@ -255,20 +273,27 @@ class Trace:
             columns["kind"][i] = payload_code[event.kind]
             if event.flow_id:
                 columns["flow"][i] = flow_index[event.flow_id]
+            if event.reason:
+                columns["reason"][i] = reason_index[event.reason]
         columns["nodes"] = np.array(names, dtype=np.str_)
         columns["flows"] = np.array(flows, dtype=np.str_)
+        columns["reasons"] = np.array(reasons, dtype=np.str_)
         return columns
 
     @classmethod
     def from_columns(
         cls, columns: dict[str, np.ndarray], meta: dict | None = None
     ) -> "Trace":
-        """Rebuild from :meth:`to_columns` output."""
+        """Rebuild from :meth:`to_columns` output (``reason`` columns are
+        optional, so v1 archives load with empty reasons)."""
         names = [str(name) for name in columns["nodes"]]
         flows = [str(flow) for flow in columns["flows"]]
+        reasons = [str(reason) for reason in columns.get("reasons", ())]
+        reason_col = columns.get("reason")
         events = []
         for i in range(columns["time_s"].size):
             flow = int(columns["flow"][i])
+            reason = int(reason_col[i]) if reason_col is not None else -1
             events.append(
                 TraceEvent(
                     time_s=float(columns["time_s"][i]),
@@ -280,6 +305,7 @@ class Trace:
                     hop_count=int(columns["hop_count"][i]),
                     kind=PAYLOAD_KINDS[int(columns["kind"][i])],
                     flow_id=flows[flow] if flow >= 0 else "",
+                    reason=reasons[reason] if reason >= 0 else "",
                 )
             )
         return cls(events=events, meta=dict(meta or {}))
@@ -304,10 +330,11 @@ class Trace:
                     f"not a {TRACE_FORMAT} archive (format={header.get('format')!r})"
                 )
             version = int(header.get("version", -1))
-            if version != TRACE_VERSION:
+            if version not in SUPPORTED_TRACE_VERSIONS:
+                supported = ", ".join(str(v) for v in SUPPORTED_TRACE_VERSIONS)
                 raise ValueError(
                     f"unsupported trace version {version} "
-                    f"(supported: {TRACE_VERSION})"
+                    f"(supported: {supported})"
                 )
             columns = {key: archive[key] for key in archive.files if key != "__header__"}
         trace = cls.from_columns(columns, meta=header.get("meta", {}))

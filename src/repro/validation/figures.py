@@ -27,6 +27,11 @@ every panel:
     the 24-flow shared-relay convergecast, under the fixed legacy window
     *and* the Reno controller in the same seeded trial -- the
     goodput-collapse-vs-stability claim of the congestion subsystem.
+``resilience_vs_churn``
+    Delivery-under-churn and SOS deadline-hit rate versus per-node crash
+    rate, with the fault-repair machinery on vs off on the same seeded
+    churn -- the resilience claim of the faults subsystem (repair must
+    strictly dominate).
 
 Each figure runs as ``trials`` seeded Monte-Carlo repetitions per grid
 point; :mod:`repro.validation.montecarlo` owns the execution, this
@@ -110,7 +115,7 @@ class FigureSpec:
     params: Mapping[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        if self.kind not in ("link", "sos", "net", "cc"):
+        if self.kind not in ("link", "sos", "net", "cc", "faults"):
             raise ValueError(f"unknown figure kind {self.kind!r}")
         if not set(self.quick_values) <= set(self.values):
             raise ValueError(
@@ -335,6 +340,76 @@ def run_cc_trial(
     return TrialOutcome(counts=counts, values=values)
 
 
+# ---------------------------------------------------------- faults executor
+def run_faults_trial(
+    spec: FigureSpec, axis_value, trial: int, base_seed: int = 0, quick: bool = False
+) -> TrialOutcome:
+    """Run one resilience trial: the same churn with repair on vs off.
+
+    Both legs replay the identical seeded scenario and the identical
+    expanded churn schedule; only the repair policy differs, so the
+    paired metrics isolate the resilience machinery's effect.  Each leg
+    runs twice -- a unicast data workload for delivery-under-churn and
+    an SOS broadcast workload for deadline hits (an SOS that arrives
+    after the deadline is counted as missed even though it was
+    eventually delivered: a rescue that comes too late).
+    """
+    from repro.experiments.net_scenario import NetScenario
+    from repro.faults import ChurnProcess, FaultSchedule
+
+    seed = spec.point_seed(axis_value, trial, base_seed)
+    duration = float(spec.param("duration_s", quick=quick))
+    destination = spec.param("destination")
+    deadline = float(spec.param("sos_deadline_s"))
+    churn = ChurnProcess(
+        rate_per_node_per_s=float(axis_value),
+        mean_downtime_s=float(spec.param("mean_downtime_s")),
+        end_s=duration,
+        seed=seed + 17,
+        # The SOS source and the data sink survive every trial, so the
+        # A/B measures repair quality rather than endpoint luck.
+        protect=("n0", destination),
+    )
+    base = NetScenario(
+        site=spec.param("site"),
+        topology=spec.param("topology"),
+        num_nodes=int(spec.param("num_nodes")),
+        spacing_m=float(spec.param("spacing_m")),
+        comm_range_m=float(spec.param("comm_range_m")),
+        routing=spec.param("routing"),
+        link=spec.param("link"),
+        arq=spec.param("arq"),
+        traffic="poisson",
+        rate_msgs_per_s=float(spec.param("rate_msgs_per_s")),
+        duration_s=duration,
+        destination=destination,
+        seed=seed,
+        label=f"{spec.name}@{axis_value}#{trial}",
+    )
+    counts: dict[str, tuple[int, int]] = {}
+    values: dict[str, float] = {}
+    for tag, repair in (("repair", True), ("norepair", False)):
+        schedule = FaultSchedule(
+            churn=churn,
+            repair=repair,
+            beacon_interval_s=float(spec.param("beacon_interval_s")),
+            miss_threshold=int(spec.param("miss_threshold")),
+        )
+        data = base.with_faults(schedule).run().metrics
+        counts[f"pdr_{tag}"] = (data.delivered, data.offered)
+        if repair:
+            values["mean_time_to_repair_s"] = data.mean_time_to_repair_s
+        sos = (
+            base.replace(traffic="sos", arq="none", destination=None)
+            .with_faults(schedule)
+            .run()
+            .metrics
+        )
+        hits = sum(1 for record in sos.records if record.latency_s <= deadline)
+        counts[f"sos_hit_{tag}"] = (hits, sos.offered)
+    return TrialOutcome(counts=counts, values=values)
+
+
 # ---------------------------------------------------------------- registry
 FIGURE_REGISTRY: dict[str, FigureSpec] = {
     spec.name: spec
@@ -449,6 +524,45 @@ FIGURE_REGISTRY: dict[str, FigureSpec] = {
                 "traffic": "poisson",
                 "duration_s": 600.0,
                 "quick_duration_s": 300.0,
+            },
+        ),
+        FigureSpec(
+            name="resilience_vs_churn",
+            title="Delivery & SOS deadline hits vs churn rate "
+                  "(repair on vs off, 25-node grid)",
+            kind="faults",
+            axis="churn_rate_per_s",
+            values=(0.004, 0.008, 0.016),
+            quick_values=(0.008,),
+            metrics=(
+                "pdr_repair", "pdr_norepair",
+                "sos_hit_repair", "sos_hit_norepair",
+                "mean_time_to_repair_s",
+            ),
+            headline="pdr_repair",
+            tolerance=0.15,
+            params={
+                "site": "lake",
+                "topology": "grid",
+                "num_nodes": 25,
+                "spacing_m": 8.0,
+                "comm_range_m": 12.0,
+                "routing": "shortest-path",
+                "link": "calibrated",
+                "arq": "go-back-n",
+                "rate_msgs_per_s": 0.03,
+                "duration_s": 600.0,
+                "quick_duration_s": 300.0,
+                # Outages (mean 120 s) are long against the 10 s
+                # detection delay (5 s beacons x 2 misses), so most of
+                # each outage is exploitable by repair; the 90 s SOS
+                # deadline spans three 30 s broadcast periods, leaving
+                # room for a recovery re-flood to still count as a hit.
+                "destination": "n24",
+                "mean_downtime_s": 120.0,
+                "beacon_interval_s": 5.0,
+                "miss_threshold": 2,
+                "sos_deadline_s": 90.0,
             },
         ),
     )

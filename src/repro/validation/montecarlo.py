@@ -28,6 +28,7 @@ from repro.validation.figures import (
     link_outcome,
     link_scenario,
     run_cc_trial,
+    run_faults_trial,
     run_net_trial,
     run_sos_trial,
 )
@@ -191,6 +192,7 @@ class MonteCarloRunner:
                 "sos": run_sos_trial,
                 "net": run_net_trial,
                 "cc": run_cc_trial,
+                "faults": run_faults_trial,
             }[spec.kind]
             points = []
             for axis_value in grid:

@@ -97,3 +97,134 @@ def test_builder_validation():
         AcousticNetTopology.random_deployment(0, (10.0, 10.0))
     with pytest.raises(ValueError):
         AcousticNetTopology(comm_range_m=0.0)
+
+
+# ---------------------------------------------------- mutation properties
+# Satellite of the fault-injection PR: random add/remove/deactivate/
+# reactivate sequences must leave the spatial-hash grid and every cached
+# NeighborTable indistinguishable from a brute-force rebuild over the
+# *active* membership, and bump the version so greedy's memo refreshes.
+
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.net.packet import NetPacket  # noqa: E402
+from repro.net.routing import GreedyForwarding  # noqa: E402
+
+_slow = settings(max_examples=25, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+
+def _live_brute_force(topology, name):
+    """Oracle: all-pairs scan over active members, sorted (distance, name)."""
+    candidates = sorted(
+        (topology.distance_m(name, other), other)
+        for other in topology.active_names
+        if other != name
+        and topology.distance_m(name, other) <= topology.comm_range_m
+    )
+    return tuple(other for _, other in candidates)
+
+
+def _assert_consistent(topology):
+    for name in topology.active_names:
+        expected = _live_brute_force(topology, name)
+        table = topology.neighbor_table(name)
+        assert table.names == expected, (
+            f"grid/table disagree with brute force at {name!r}: "
+            f"{table.names} != {expected}"
+        )
+        # Table distances/delays must be bit-identical to the vectorized
+        # recomputation (distance_m's scalar ``**2`` can differ from the
+        # vector ``x*x`` in the last ulp, so compare same-path exactly
+        # and cross-path approximately).
+        recomputed = topology.distances_to(table.indices, name)
+        assert np.array_equal(table.distances_m, recomputed)
+        assert np.array_equal(table.delays_s, recomputed / SOUND_SPEED_M_S)
+        for neighbor, distance in zip(table.names, table.distances_m):
+            assert distance == pytest.approx(
+                topology.distance_m(name, neighbor), rel=1e-12
+            )
+        assert topology.neighbors(name) == expected
+
+
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(("add", "remove", "deactivate", "reactivate")),
+        st.integers(min_value=0, max_value=10 ** 6),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@_slow
+@given(seed=st.integers(min_value=0, max_value=50), ops=_ops)
+def test_membership_mutations_match_brute_force_rebuild(seed, ops):
+    topology = AcousticNetTopology.random_deployment(
+        12, (60.0, 60.0), comm_range_m=20.0, seed=seed
+    )
+    # Warm every cache first so stale entries would be caught.
+    _assert_consistent(topology)
+    fresh = 0
+    for op, raw in ops:
+        names = topology.names
+        if op == "add":
+            topology.add_node(
+                f"x{fresh}", float(raw % 60), float((raw // 60) % 60), 1.0
+            )
+            fresh += 1
+        elif not names:
+            continue
+        else:
+            target = names[raw % len(names)]
+            if op == "remove":
+                topology.remove_node(target)
+                assert target not in topology
+            elif op == "deactivate":
+                topology.deactivate(target)
+                assert not topology.is_active(target)
+            else:
+                topology.reactivate(target)
+                assert topology.is_active(target)
+        _assert_consistent(topology)
+
+
+@_slow
+@given(seed=st.integers(min_value=0, max_value=50))
+def test_remove_then_readd_round_trip_restores_tables(seed):
+    topology = AcousticNetTopology.random_deployment(
+        10, (50.0, 50.0), comm_range_m=18.0, seed=seed
+    )
+    victim = topology.names[seed % topology.num_nodes]
+    position = topology.position(victim)
+    before = {
+        name: topology.neighbor_table(name).names for name in topology.names
+    }
+    topology.remove_node(victim)
+    _assert_consistent(topology)
+    topology.add_node(victim, position.x_m, position.y_m, position.depth_m)
+    _assert_consistent(topology)
+    after = {
+        name: topology.neighbor_table(name).names for name in topology.names
+    }
+    assert after == before
+
+
+def test_greedy_memo_invalidates_on_liveness_changes():
+    topology = AcousticNetTopology.line(4, spacing_m=6.0, comm_range_m=13.0)
+    routing = GreedyForwarding()
+    packet = NetPacket(uid=0, kind="data", source="n0", destination="n3",
+                       created_s=0.0, ttl=8)
+    # n0 reaches n1 (6 m) and n2 (12 m); greedy prefers the hop closest
+    # to the destination.
+    assert routing.next_hops("n0", packet, topology) == ("n2",)
+    topology.deactivate("n2")
+    assert routing.next_hops("n0", packet, topology) == ("n1",)
+    topology.reactivate("n2")
+    assert routing.next_hops("n0", packet, topology) == ("n2",)
+    topology.remove_node("n2")
+    assert routing.next_hops("n0", packet, topology) == ("n1",)
+    # A dead destination is unreachable for greedy, not a crash.
+    topology.deactivate("n3")
+    assert routing.next_hops("n0", packet, topology) == ()

@@ -13,6 +13,7 @@ from repro.net.packet import BROADCAST
 from repro.net.routing import StaticShortestPathRouting
 from repro.net.simulator import NetworkSimulator
 from repro.net.topology import AcousticNetTopology
+from repro.trace.events import TRACE_VERSION
 from repro.trace import (
     PopulationWorkload,
     Trace,
@@ -87,9 +88,46 @@ def test_jsonl_rejects_foreign_and_wrong_version_documents():
         Trace.loads("")
     with pytest.raises(ValueError, match="not a repro.trace"):
         Trace.loads('{"format": "other", "version": 1}\n')
-    text = _sample_trace().dumps().replace('"version": 1', '"version": 99')
+    text = _sample_trace().dumps().replace(
+        f'"version": {TRACE_VERSION}', '"version": 99'
+    )
     with pytest.raises(ValueError, match="unsupported trace version 99"):
         Trace.loads(text)
+
+
+def test_jsonl_accepts_v1_documents():
+    # v1 read-compat: every v1 document is a valid v2 document with
+    # empty reasons, so old committed fixtures keep loading.
+    text = _sample_trace().dumps().replace(
+        f'"version": {TRACE_VERSION}', '"version": 1'
+    )
+    restored = Trace.loads(text)
+    assert restored.version == 1
+    assert restored.events == _sample_trace().events
+    assert all(event.reason == "" for event in restored.events)
+
+
+def test_v2_reason_field_roundtrips_jsonl_and_columnar():
+    events = [
+        TraceEvent(1.0, "send", 0, "n0", "n1", size_bits=16, kind="data"),
+        TraceEvent(5.0, "drop", 0, "n0", "n1", kind="data", reason="ttl"),
+        TraceEvent(6.0, "abort", -1, "", "", flow_id="n0>n1#0",
+                   reason="dest-dead"),
+    ]
+    trace = Trace(events=events)
+    assert Trace.loads(trace.dumps()).events == events
+    assert Trace.from_columns(trace.to_columns()).events == events
+    # Zero-value omission: events without a reason stay compact.
+    assert "reason" not in events[0].to_dict()
+    assert events[1].to_dict()["reason"] == "ttl"
+
+
+def test_columnar_v1_archive_without_reason_columns_loads():
+    trace = _sample_trace()
+    columns = trace.to_columns()
+    del columns["reason"], columns["reasons"]
+    restored = Trace.from_columns(columns, meta=trace.meta)
+    assert restored.events == trace.events
 
 
 def test_jsonl_rejects_truncated_documents():

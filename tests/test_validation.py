@@ -136,7 +136,7 @@ def test_registry_specs_are_coherent():
         assert spec.name == name
         assert set(spec.quick_values) <= set(spec.values)
         assert spec.headline in spec.metrics
-        assert spec.kind in ("link", "sos", "net", "cc")
+        assert spec.kind in ("link", "sos", "net", "cc", "faults")
 
 
 def test_figure_spec_validation_errors():
