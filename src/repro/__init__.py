@@ -50,6 +50,7 @@ SIGCOMM 2022).  It contains:
 from repro.core.config import OFDMConfig, ProtocolConfig
 from repro.core.modem import AquaModem
 from repro.experiments import (
+    ColumnarResultSet,
     ExperimentRunner,
     ModemSpec,
     NetScenario,
@@ -57,6 +58,7 @@ from repro.experiments import (
     RunRecord,
     Scenario,
     Sweep,
+    SweepService,
     run_net_scenario,
     run_scenario,
 )
@@ -90,9 +92,11 @@ __all__ = [
     "NetScenario",
     "ModemSpec",
     "Sweep",
+    "ColumnarResultSet",
     "ExperimentRunner",
     "ResultSet",
     "RunRecord",
+    "SweepService",
     "run_scenario",
     "run_net_scenario",
     "AcousticNetTopology",

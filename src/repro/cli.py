@@ -53,15 +53,8 @@ def _add_link_parser(subparsers) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
-def _add_sweep_parser(subparsers) -> None:
-    parser = subparsers.add_parser(
-        "sweep",
-        help="run a declarative grid of link experiments, in parallel",
-        description="Expand a parameter grid into scenarios and run them with "
-                    "the experiment runner.  Every axis flag accepts several "
-                    "values; the grid is their cartesian product, and each "
-                    "scenario gets a deterministic seed derived from --seed.",
-    )
+def _add_sweep_grid_args(parser) -> None:
+    """Grid axis flags shared by the sweep and serve subcommands."""
     parser.add_argument("--site", nargs="+", choices=sorted(SITE_CATALOG), default=["lake"])
     parser.add_argument("--distance", nargs="+", type=float, default=[5.0],
                         help="distances in metres")
@@ -79,10 +72,60 @@ def _add_sweep_parser(subparsers) -> None:
     parser.add_argument("--workers", type=int, default=None,
                         help="worker processes (default: one per core, capped "
                              "at the number of scenarios; 1 = serial)")
+
+
+def _add_sweep_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "sweep",
+        help="run a declarative grid of link experiments, in parallel",
+        description="Expand a parameter grid into scenarios and run them with "
+                    "the experiment runner.  Every axis flag accepts several "
+                    "values; the grid is their cartesian product, and each "
+                    "scenario gets a deterministic seed derived from --seed.",
+    )
+    _add_sweep_grid_args(parser)
     parser.add_argument("--cache", metavar="DIR", default=None,
                         help="cache results as JSON under DIR, keyed by scenario hash")
     parser.add_argument("--json", metavar="FILE", dest="json_path", default=None,
                         help="also write the result set to FILE as JSON")
+    parser.add_argument("--npz", metavar="FILE", dest="npz_path", default=None,
+                        help="also write the columnar result arenas to FILE "
+                             "as a .npz artifact")
+    parser.add_argument("--stream", action="store_true",
+                        help="print a progress/ETA line to stderr as each "
+                             "scenario completes")
+
+
+def _add_serve_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "serve",
+        help="submit a sweep to the streaming job service and stream results",
+        description="Submit the parameter grid as a content-addressed job "
+                    "under --jobs, stream its records as they complete, and "
+                    "leave results.npz/results.json artifacts behind.  "
+                    "Resubmitting an identical grid is served entirely from "
+                    "the artifacts (a 100% cache hit).",
+    )
+    _add_sweep_grid_args(parser)
+    parser.add_argument("--jobs", metavar="DIR", dest="jobs_dir", required=True,
+                        help="service root directory (holds jobs/ and cache/)")
+    parser.add_argument("--label", default="", help="human-readable job tag")
+
+
+def _add_jobs_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "jobs",
+        help="inspect the sweep job service: list, show, fetch artifacts",
+    )
+    parser.add_argument("--jobs", metavar="DIR", dest="jobs_dir", required=True,
+                        help="service root directory (holds jobs/ and cache/)")
+    parser.add_argument("--show", metavar="JOB_ID", default=None,
+                        help="print one job's state and (when done) its table")
+    parser.add_argument("--fetch", metavar="JOB_ID", default=None,
+                        help="export a finished job's results to --out")
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="destination for --fetch (.npz = columnar "
+                             "artifact, anything else = JSON)")
 
 
 def _add_bench_parser(subparsers) -> None:
@@ -437,6 +480,8 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_link_parser(subparsers)
     _add_sweep_parser(subparsers)
+    _add_serve_parser(subparsers)
+    _add_jobs_parser(subparsers)
     _add_net_parser(subparsers)
     _add_trace_parser(subparsers)
     _add_bench_parser(subparsers)
@@ -475,28 +520,33 @@ def _run_link(args) -> int:
     return 0
 
 
+def _grid_scenarios(args) -> list[Scenario]:
+    """Expand the shared sweep/serve grid flags into scenarios."""
+    sweep = (
+        Sweep(Scenario(num_packets=args.packets))
+        .over(
+            site=args.site,
+            distance_m=args.distance,
+            tx_depth_m=args.depth,
+            orientation_deg=args.orientation,
+            motion=args.motion,
+            scheme=args.scheme,
+        )
+        .seeded(args.seed)
+    )
+    return sweep.scenarios()
+
+
 def _run_sweep(args) -> int:
     try:
-        sweep = (
-            Sweep(Scenario(num_packets=args.packets))
-            .over(
-                site=args.site,
-                distance_m=args.distance,
-                tx_depth_m=args.depth,
-                orientation_deg=args.orientation,
-                motion=args.motion,
-                scheme=args.scheme,
-            )
-            .seeded(args.seed)
-        )
-        scenarios = sweep.scenarios()
+        scenarios = _grid_scenarios(args)
         runner = ExperimentRunner(max_workers=args.workers, cache_dir=args.cache)
     except ValueError as error:
         # Invalid grid parameters (bad distance/range, worker count, ...);
         # genuine simulation errors during the run keep their tracebacks.
         print(f"error: {error}", file=sys.stderr)
         return 2
-    results = runner.run(scenarios)
+    results = runner.run_columnar(scenarios, progress=True if args.stream else None)
     workers = args.workers if args.workers is not None else "auto"
     print(f"{len(scenarios)} scenario(s), {args.packets} packets each, "
           f"workers={workers}"
@@ -507,6 +557,74 @@ def _run_sweep(args) -> int:
     if args.json_path:
         path = results.save(args.json_path)
         print(f"  results written to       : {path}")
+    if args.npz_path:
+        path = results.save_npz(args.npz_path)
+        print(f"  columnar artifact        : {path}")
+    return 0
+
+
+def _run_serve(args) -> int:
+    from repro.experiments.service import SweepService
+
+    try:
+        scenarios = _grid_scenarios(args)
+        service = SweepService(args.jobs_dir, max_workers=args.workers)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    job = service.submit(scenarios, label=args.label)
+    served_from_artifact = job.done
+    print(f"job {job.job_id}: {job.total} scenario(s), state={job.state}")
+    count = 0
+    for record in service.stream(job.job_id):
+        count += 1
+        print(f"  [{count}/{job.total}] {record.scenario.describe()} "
+              f"per={record.packet_error_rate:.2f} "
+              f"median_bps={record.median_bitrate_bps:.0f}")
+    final = service.poll(job.job_id)
+    # Streaming a finished job touches no simulator at all; report it as
+    # the full-sweep cache hit it is.
+    hits = final.total if served_from_artifact else final.cache_hits
+    print(f"job {job.job_id} done: cache hits {hits}/{final.total} "
+          f"(artifact: {service.artifact_path(job.job_id)})")
+    return 0
+
+
+def _run_jobs(args) -> int:
+    from repro.experiments.service import SweepService
+
+    service = SweepService(args.jobs_dir)
+    if args.fetch:
+        if not args.out:
+            print("error: --fetch requires --out", file=sys.stderr)
+            return 2
+        try:
+            path = service.fetch(args.fetch, args.out)
+        except (KeyError, RuntimeError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(f"job {args.fetch} artifact written to {path}")
+        return 0
+    if args.show:
+        try:
+            job = service.poll(args.show)
+        except (KeyError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(f"job {job.job_id}: state={job.state} "
+              f"completed={job.completed}/{job.total} "
+              f"cache_hits={job.cache_hits}"
+              + (f" label={job.label}" if job.label else ""))
+        if job.done:
+            print(service.result(job.job_id).to_table())
+        return 0
+    jobs = service.list_jobs()
+    if not jobs:
+        print("no jobs")
+        return 0
+    for job in jobs:
+        print(f"{job.job_id}  {job.state:9s} {job.completed}/{job.total}"
+              + (f"  {job.label}" if job.label else ""))
     return 0
 
 
@@ -972,6 +1090,8 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "link": _run_link,
         "sweep": _run_sweep,
+        "serve": _run_serve,
+        "jobs": _run_jobs,
         "net": _run_net,
         "trace": _run_trace,
         "bench": _run_bench,

@@ -30,13 +30,17 @@ cache (``cache_dir=...``) makes re-running a partially finished campaign
 free for the points already computed.
 """
 
+from repro.experiments.columnar import ColumnarResultSet
 from repro.experiments.net_scenario import NetScenario, run_net_scenario
 from repro.experiments.records import DEFAULT_TABLE_COLUMNS, ResultSet, RunRecord
-from repro.experiments.runner import ExperimentRunner
+from repro.experiments.runner import CacheMissWarning, ExperimentRunner
 from repro.experiments.scenario import SCHEME_CATALOG, ModemSpec, Scenario, run_scenario
+from repro.experiments.service import SweepJob, SweepService
 from repro.experiments.sweep import Sweep
 
 __all__ = [
+    "CacheMissWarning",
+    "ColumnarResultSet",
     "DEFAULT_TABLE_COLUMNS",
     "ExperimentRunner",
     "ModemSpec",
@@ -46,6 +50,8 @@ __all__ = [
     "SCHEME_CATALOG",
     "Scenario",
     "Sweep",
+    "SweepJob",
+    "SweepService",
     "run_net_scenario",
     "run_scenario",
 ]

@@ -192,7 +192,16 @@ class RunRecord:
 
 
 class ResultSet:
-    """Ordered collection of run records with export helpers."""
+    """Ordered collection of run records with export helpers.
+
+    This is the per-record object form; large campaigns are better
+    served by its columnar twin,
+    :class:`~repro.experiments.columnar.ColumnarResultSet`, which is
+    observationally identical (same ``where``/``metric``/``to_table``
+    surface, gated by an equivalence oracle in the test suite) but
+    aggregates vectorized over numpy arenas.  Convert with
+    :meth:`to_columnar`.
+    """
 
     def __init__(self, records: list[RunRecord] | None = None) -> None:
         self.records: list[RunRecord] = list(records or [])
@@ -240,6 +249,13 @@ class ResultSet:
         return np.asarray([getattr(r, name) for r in self.records], dtype=float)
 
     # --------------------------------------------------------------- export
+    def to_columnar(self):
+        """This result set in columnar arena form (lossless)."""
+        # Deferred import: columnar builds on this module.
+        from repro.experiments.columnar import ColumnarResultSet
+
+        return ColumnarResultSet.from_result_set(self)
+
     def to_dicts(self, include_timing: bool = False) -> list[dict]:
         """List-of-dictionaries form."""
         return [r.to_dict(include_timing=include_timing) for r in self.records]

@@ -1,8 +1,7 @@
 """Parallel scenario execution with an optional on-disk result cache.
 
 :class:`ExperimentRunner` turns a list of scenarios (or a
-:class:`~repro.experiments.sweep.Sweep`) into a
-:class:`~repro.experiments.records.ResultSet`:
+:class:`~repro.experiments.sweep.Sweep`) into run records:
 
 * scenarios are independent -- each carries its own seed and builds its
   own channels -- so they are dispatched to a
@@ -17,20 +16,57 @@
   of the same scenario (same hash, same version) are served from disk
   without re-simulating.  Keying by the package version invalidates every
   entry when the simulation code changes, so a cached sweep can never
-  silently report numbers computed by older code.
+  silently report numbers computed by older code.  A truncated or
+  otherwise corrupt entry is treated as a miss -- re-simulated and
+  rewritten -- with a reason-coded :class:`CacheMissWarning`.
+
+The primitive API is :meth:`ExperimentRunner.iter_run`: a generator that
+yields records one by one as pool futures complete, in deterministic
+submission order, so consumers (the streaming sweep service, live
+progress displays) see results while later scenarios are still running.
+The blocking :meth:`ExperimentRunner.run` /
+:meth:`ExperimentRunner.run_columnar` are thin collectors over it.
 """
 
 from __future__ import annotations
 
 import contextlib
+import json
 import os
 import pathlib
+import sys
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable
+from typing import Callable, Iterable, Iterator
 
+from repro.experiments.columnar import ColumnarResultSet
 from repro.experiments.records import ResultSet, RunRecord
 from repro.experiments.scenario import Scenario, run_scenario
+
+
+class CacheMissWarning(UserWarning):
+    """A cache entry existed but could not be used (it will be rebuilt).
+
+    Carries a machine-readable :attr:`reason` code -- ``"json-decode"``
+    (truncated/garbled JSON), ``"schema"`` (well-formed JSON that does not
+    decode into a record), ``"os-error"`` (unreadable file) or
+    ``"npz-corrupt"`` (bad columnar artifact) -- so logs and tests can
+    distinguish corruption flavours without parsing prose.
+    """
+
+    def __init__(self, path, reason: str, detail: str = "") -> None:
+        self.path = pathlib.Path(path)
+        self.reason = reason
+        message = f"ignoring corrupt cache entry {path} [{reason}]"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+
+def warn_cache_miss(path, reason: str, detail: str = "") -> None:
+    """Emit a :class:`CacheMissWarning` (shared by runner and service)."""
+    warnings.warn(CacheMissWarning(path, reason, detail), stacklevel=3)
 
 
 def _execute_scenario(scenario: Scenario) -> RunRecord:
@@ -72,7 +108,7 @@ class ExperimentRunner:
         self.cache_dir = pathlib.Path(cache_dir) if cache_dir is not None else None
         self.chunk_size = chunk_size
         self.progress = progress
-        #: Number of cache hits during the most recent :meth:`run`.
+        #: Number of cache hits during the most recent run/iter_run.
         self.last_cache_hits = 0
 
     # -------------------------------------------------------------- caching
@@ -90,8 +126,15 @@ class ExperimentRunner:
             return None
         try:
             record = ResultSet.load(path).records[0]
-        except (ValueError, KeyError, IndexError, LookupError, TypeError, OSError):
-            return None  # corrupt, stale or unreadable cache entry: recompute
+        except json.JSONDecodeError as error:
+            warn_cache_miss(path, "json-decode", str(error))
+            return None
+        except (ValueError, KeyError, IndexError, LookupError, TypeError) as error:
+            warn_cache_miss(path, "schema", str(error))
+            return None
+        except OSError as error:
+            warn_cache_miss(path, "os-error", str(error))
+            return None
         # Hash collisions are unlikely but cheap to rule out.
         return record if record.scenario == scenario else None
 
@@ -101,8 +144,29 @@ class ExperimentRunner:
         ResultSet([record]).save(self._cache_path(record.scenario), include_timing=True)
 
     # -------------------------------------------------------------- running
-    def run(self, scenarios: Iterable[Scenario]) -> ResultSet:
-        """Execute the scenarios and return their records in order."""
+    def iter_run(
+        self,
+        scenarios: Iterable[Scenario],
+        progress: bool | Callable[[str], None] | None = None,
+    ) -> Iterator[RunRecord]:
+        """Execute the scenarios, yielding records as they complete.
+
+        Records come out in deterministic submission order -- the same
+        order, with byte-identical contents, as the blocking :meth:`run`
+        -- but each one is yielded as soon as it (and every earlier one)
+        is available, so a consumer can process, persist or display
+        results while later scenarios are still executing.
+
+        The cache is resolved eagerly when ``iter_run`` is called (so
+        :attr:`last_cache_hits` is correct immediately); simulation work
+        happens lazily as the generator is consumed.
+
+        ``progress`` follows the ``calibrate_from_phy`` idiom: ``True``
+        prints per-record lines with elapsed/ETA to stderr, a callable
+        receives the same lines, ``None`` is silent.  The structured
+        ``progress(done, total, record)`` constructor callback fires
+        either way.
+        """
         ordered = list(scenarios)
         slots: list[RunRecord | None] = [None] * len(ordered)
         self.last_cache_hits = 0
@@ -116,34 +180,89 @@ class ExperimentRunner:
             else:
                 pending.append((index, scenario))
 
-        total = len(ordered)
-        done = 0
-        for record in slots:
-            if record is not None:
-                done += 1
-                if self.progress is not None:
-                    self.progress(done, total, record)
+        if progress is True:
+            emit = lambda line: print(line, file=sys.stderr)  # noqa: E731
+        elif callable(progress):
+            emit = progress
+        else:
+            emit = None
+        return self._stream(ordered, slots, pending, emit)
 
+    def _stream(
+        self,
+        ordered: list[Scenario],
+        slots: list[RunRecord | None],
+        pending: list[tuple[int, Scenario]],
+        emit: Callable[[str], None] | None,
+    ) -> Iterator[RunRecord]:
+        total = len(ordered)
         workers = self.max_workers
         if workers is None:
             workers = min(len(pending), os.cpu_count() or 1)
-        if pending:
-            to_run = [s for _, s in pending]
-            with contextlib.ExitStack() as stack:
+
+        started = time.perf_counter()
+        done = 0
+        with contextlib.ExitStack() as stack:
+            if pending:
+                to_run = [scenario for _, scenario in pending]
                 if workers <= 1 or len(pending) == 1:
                     record_iter = map(_execute_scenario, to_run)
                 else:
                     chunk = self.chunk_size
                     if chunk is None:
                         chunk = max(1, len(pending) // (4 * workers))
-                    pool = stack.enter_context(ProcessPoolExecutor(max_workers=workers))
+                    pool = stack.enter_context(
+                        ProcessPoolExecutor(max_workers=workers)
+                    )
+                    # pool.map yields in submission order as chunks finish,
+                    # which is exactly the streaming order we guarantee.
                     record_iter = pool.map(_execute_scenario, to_run, chunksize=chunk)
-                for (index, _), record in zip(pending, record_iter):
+                pending_results = zip(pending, record_iter)
+            else:
+                pending_results = iter(())
+
+            for index in range(total):
+                record = slots[index]
+                if record is None:
+                    (slot_index, _), record = next(pending_results)
+                    assert slot_index == index
                     slots[index] = record
                     self._store_cached(record)
-                    done += 1
-                    if self.progress is not None:
-                        self.progress(done, total, record)
+                done += 1
+                if self.progress is not None:
+                    self.progress(done, total, record)
+                if emit is not None:
+                    elapsed = time.perf_counter() - started
+                    eta = elapsed / done * (total - done)
+                    emit(
+                        f"sweep {done}/{total}: {record.scenario.describe()} "
+                        f"({elapsed:.1f}s elapsed, eta {eta:.1f}s)"
+                    )
+                yield record
 
-        assert all(record is not None for record in slots)
-        return ResultSet(slots)  # type: ignore[arg-type]
+    def run(
+        self,
+        scenarios: Iterable[Scenario],
+        progress: bool | Callable[[str], None] | None = None,
+    ) -> ResultSet:
+        """Execute the scenarios and return their records in order.
+
+        A blocking collector over :meth:`iter_run`; the two produce
+        byte-identical records in identical order.
+        """
+        return ResultSet(list(self.iter_run(scenarios, progress=progress)))
+
+    def run_columnar(
+        self,
+        scenarios: Iterable[Scenario],
+        progress: bool | Callable[[str], None] | None = None,
+    ) -> ColumnarResultSet:
+        """Execute the scenarios straight into columnar arenas.
+
+        Equivalent to ``ColumnarResultSet(self.run(scenarios))`` but the
+        records are appended as they stream in, never held as a list.
+        """
+        results = ColumnarResultSet()
+        for record in self.iter_run(scenarios, progress=progress):
+            results.append(record)
+        return results

@@ -1,6 +1,6 @@
 """Benchmark suites over the reproduction's hot paths.
 
-Eight suites cover the layers every figure reproduction funnels through:
+Nine suites cover the layers every figure reproduction funnels through:
 
 ``fec``
     Viterbi decoding (vectorized and the retained loop reference, so the
@@ -28,6 +28,10 @@ Eight suites cover the layers every figure reproduction funnels through:
 ``trace``
     The trace pipeline: population-workload synthesis, captured network
     runs, trace replay, and JSONL/columnar (de)serialization round trips.
+``records``
+    The experiment-results pipeline: aggregating a synthetic 100k-record
+    sweep through the columnar arenas vs the legacy per-record object
+    path, plus ingestion and the ``.npz`` artifact round trip.
 
 Each builder returns fully-constructed :class:`~repro.perf.harness.Benchmark`
 closures: inputs are prepared at build time so the timed region contains
@@ -565,6 +569,140 @@ def trace_suite(quick: bool = False) -> list[Benchmark]:
     ]
 
 
+def records_suite(quick: bool = False) -> list[Benchmark]:
+    """Result-pipeline benchmarks: columnar arenas vs per-record objects.
+
+    A synthetic 100k-record sweep (200 unique scenarios, 8 packets each)
+    is built once at suite-build time; the benchmark pairs then measure
+    aggregation, per-record derived metrics, ingestion and the ``.npz``
+    artifact round trip on identical data, so the columnar speedup is
+    measured against the legacy object path rather than asserted.
+    """
+    import pathlib
+    import tempfile
+
+    from repro.experiments.columnar import ColumnarResultSet
+    from repro.experiments.records import ResultSet, RunRecord
+    from repro.experiments.scenario import Scenario
+
+    rng = np.random.default_rng(2022)
+    n_records = 100_000
+    series_len = 8
+    n_unique = 200
+    base = Scenario(site="lake", num_packets=series_len, seed=0)
+    uniques = [base.replace(seed=seed) for seed in range(n_unique)]
+
+    bitrates = rng.uniform(500.0, 3000.0, (n_records, series_len))
+    bitrates[rng.random((n_records, series_len)) < 0.05] = np.nan
+    starts = rng.uniform(1000.0, 3000.0, (n_records, series_len))
+    ends = starts + rng.uniform(500.0, 2000.0, (n_records, series_len))
+    snrs = rng.normal(8.0, 4.0, (n_records, series_len))
+    flags = rng.random((n_records, series_len)) < 0.9
+    pers = rng.random(n_records)
+    bers = rng.random(n_records) * 0.2
+    delivered = flags.sum(axis=1)
+
+    records = [
+        RunRecord(
+            scenario=uniques[i % n_unique],
+            num_packets=series_len,
+            delivered=int(delivered[i]),
+            packet_error_rate=float(pers[i]),
+            payload_bit_error_rate=float(bers[i]),
+            coded_bit_error_rate=float(bers[i]) * 0.5,
+            preamble_detection_rate=1.0,
+            feedback_error_rate=0.0,
+            bitrates_bps=tuple(bitrates[i]),
+            band_starts_hz=tuple(starts[i]),
+            band_ends_hz=tuple(ends[i]),
+            min_band_snrs_db=tuple(snrs[i]),
+            delivered_flags=tuple(bool(b) for b in flags[i]),
+            elapsed_s=0.01,
+        )
+        for i in range(n_records)
+    ]
+    object_set = ResultSet(records)
+    columnar_set = ColumnarResultSet(records)
+    object_10k = ResultSet(records[:10_000])
+    columnar_10k = ColumnarResultSet(records[:10_000])
+    npz_path = pathlib.Path(tempfile.mkdtemp(prefix="bench-records-")) / "r.npz"
+    columnar_10k.save_npz(npz_path)
+
+    def aggregate_columnar():
+        return (
+            columnar_set.mean("packet_error_rate"),
+            columnar_set.mean("coded_bit_error_rate"),
+            columnar_set.sum("delivered"),
+            columnar_set.delivery_ratio(),
+            float(np.percentile(columnar_set.metric("payload_bit_error_rate"), 95)),
+        )
+
+    def aggregate_object():
+        per = object_set.metric("packet_error_rate")
+        ber = object_set.metric("coded_bit_error_rate")
+        got = object_set.metric("delivered")
+        offered = object_set.metric("num_packets")
+        payload = object_set.metric("payload_bit_error_rate")
+        return (
+            float(np.mean(per)),
+            float(np.mean(ber)),
+            float(np.sum(got)),
+            float(np.sum(got) / np.sum(offered)),
+            float(np.percentile(payload, 95)),
+        )
+
+    return [
+        Benchmark(
+            name="records_aggregate_100k",
+            func=aggregate_columnar,
+            items_per_call=n_records,
+            unit="records",
+            repeats=_repeats(quick, 30, 3),
+            metadata={"records": n_records, "implementation": "columnar"},
+        ),
+        Benchmark(
+            name="records_aggregate_100k_object",
+            func=aggregate_object,
+            items_per_call=n_records,
+            unit="records",
+            repeats=_repeats(quick, 10, 2),
+            metadata={"records": n_records, "implementation": "object path"},
+        ),
+        Benchmark(
+            name="records_median_bitrate_10k",
+            func=lambda: columnar_10k.metric("median_bitrate_bps"),
+            items_per_call=10_000,
+            unit="records",
+            repeats=_repeats(quick, 20, 3),
+            metadata={"records": 10_000, "implementation": "columnar"},
+        ),
+        Benchmark(
+            name="records_median_bitrate_10k_object",
+            func=lambda: object_10k.metric("median_bitrate_bps"),
+            items_per_call=10_000,
+            unit="records",
+            repeats=_repeats(quick, 5, 1),
+            metadata={"records": 10_000, "implementation": "object path"},
+        ),
+        Benchmark(
+            name="records_ingest_10k",
+            func=lambda: ColumnarResultSet(records[:10_000]),
+            items_per_call=10_000,
+            unit="records",
+            repeats=_repeats(quick, 5, 2),
+            metadata={"records": 10_000, "unique_scenarios": n_unique},
+        ),
+        Benchmark(
+            name="records_npz_roundtrip_10k",
+            func=lambda: ColumnarResultSet.load_npz(columnar_10k.save_npz(npz_path)),
+            items_per_call=10_000,
+            unit="records",
+            repeats=_repeats(quick, 5, 2),
+            metadata={"records": 10_000},
+        ),
+    ]
+
+
 SUITE_BUILDERS = {
     "fec": fec_suite,
     "ofdm": ofdm_suite,
@@ -574,6 +712,7 @@ SUITE_BUILDERS = {
     "link": link_suite,
     "net": net_suite,
     "trace": trace_suite,
+    "records": records_suite,
 }
 
 

@@ -251,7 +251,10 @@ class MonteCarloRunner:
             runner = ExperimentRunner(
                 max_workers=self.max_workers, cache_dir=self.cache_dir
             )
-            for record in runner.run(pending):
+            # Stream rather than block: each record enters the memo the
+            # moment it completes, so a progress consumer (or an exception
+            # later in the sweep) still leaves the finished prefix reusable.
+            for record in runner.iter_run(pending, progress=self.progress):
                 self._memo[record.scenario.scenario_hash()] = record
         return [self._memo[s.scenario_hash()] for s in scenarios]
 

@@ -71,6 +71,91 @@ def test_sweep_command_uses_cache(capsys, tmp_path):
     assert "cache hits 1/1" in second
 
 
+def test_sweep_command_writes_npz_artifact(capsys, tmp_path):
+    out = tmp_path / "sweep.npz"
+    code = main(["sweep", "--site", "bridge", "--distance", "5",
+                 "--scheme", "adaptive", "fixed-0.5k",
+                 "--packets", "2", "--workers", "1", "--seed", "3",
+                 "--npz", str(out)])
+    assert code == 0
+    assert "columnar artifact" in capsys.readouterr().out
+    from repro.experiments import ColumnarResultSet
+
+    results = ColumnarResultSet.load_npz(out)
+    assert len(results) == 2
+    assert {results.scenario(i).scheme_key for i in range(2)} == \
+        {"adaptive", "fixed-0.5k"}
+
+
+def test_sweep_command_stream_prints_progress(capsys):
+    code = main(["sweep", "--site", "bridge", "--distance", "5", "--packets", "2",
+                 "--workers", "1", "--seed", "1", "--stream"])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "sweep 1/1" in captured.err
+    assert "eta" in captured.err
+
+
+def _serve_args(jobs_dir, distances=("4", "5", "6")):
+    return ["serve", "--site", "bridge", "--distance", *distances,
+            "--packets", "2", "--workers", "1", "--seed", "7",
+            "--jobs", str(jobs_dir)]
+
+
+def test_serve_command_streams_then_replays_from_artifact(capsys, tmp_path):
+    root = tmp_path / "svc"
+    assert main(_serve_args(root)) == 0
+    first = capsys.readouterr().out
+    assert "3 scenario(s), state=submitted" in first
+    for k in (1, 2, 3):
+        assert f"[{k}/3]" in first
+    assert "median_bps" in first
+    assert "cache hits 0/3" in first
+    # Resubmitting the identical grid is served entirely from the
+    # artifact: state=done at submission, 100% cache hit reported.
+    assert main(_serve_args(root)) == 0
+    second = capsys.readouterr().out
+    assert "state=done" in second
+    assert "[3/3]" in second
+    assert "cache hits 3/3" in second
+
+
+def test_jobs_command_lists_shows_and_fetches(capsys, tmp_path):
+    root = tmp_path / "svc"
+    assert main(_serve_args(root, distances=("4", "5"))) == 0
+    job_id = capsys.readouterr().out.split()[1].rstrip(":")
+
+    assert main(["jobs", "--jobs", str(root)]) == 0
+    listing = capsys.readouterr().out
+    assert job_id in listing and "done" in listing
+
+    assert main(["jobs", "--jobs", str(root), "--show", job_id]) == 0
+    shown = capsys.readouterr().out
+    assert "state=done" in shown and "completed=2/2" in shown
+    assert "median_bps" in shown  # finished jobs print their table
+
+    out = tmp_path / "fetched.npz"
+    assert main(["jobs", "--jobs", str(root), "--fetch", job_id,
+                 "--out", str(out)]) == 0
+    assert "artifact written to" in capsys.readouterr().out
+    from repro.experiments import ColumnarResultSet
+
+    assert len(ColumnarResultSet.load_npz(out)) == 2
+
+
+def test_jobs_command_rejects_bad_requests(capsys, tmp_path):
+    root = tmp_path / "svc"
+    assert main(["jobs", "--jobs", str(root)]) == 0
+    assert "no jobs" in capsys.readouterr().out
+    assert main(["jobs", "--jobs", str(root), "--show", "no-such-job"]) == 2
+    assert "error" in capsys.readouterr().err
+    assert main(["jobs", "--jobs", str(root), "--fetch", "no-such-job"]) == 2
+    assert "--fetch requires --out" in capsys.readouterr().err
+    assert main(["jobs", "--jobs", str(root), "--fetch", "no-such-job",
+                 "--out", str(tmp_path / "x.json")]) == 2
+    assert "error" in capsys.readouterr().err
+
+
 def test_sweep_rejects_unknown_scheme():
     with pytest.raises(SystemExit):
         main(["sweep", "--scheme", "fixed-9k"])

@@ -347,6 +347,106 @@ def test_record_derived_metrics():
         assert np.all(np.diff(percentiles) >= 0)
 
 
+# ------------------------------------------------------------- streaming
+def test_iter_run_streams_identically_to_blocking_run():
+    # Satellite gate: incremental consumption -- serial and through the
+    # process pool, with a consumer pause mid-stream -- must yield
+    # byte-identical records in identical order to the blocking run().
+    import time
+
+    scenarios = _tiny_sweep(8).scenarios()
+    blocking = ExperimentRunner(max_workers=1).run(scenarios)
+    for workers in (1, 2):
+        runner = ExperimentRunner(max_workers=workers)
+        streamed = []
+        for index, record in enumerate(runner.iter_run(scenarios)):
+            if index == 2:
+                time.sleep(0.05)  # consumer stalls; producer keeps going
+            streamed.append(record)
+        assert ResultSet(streamed) == blocking
+        assert ResultSet(streamed).to_json() == blocking.to_json()
+        assert [r.scenario for r in streamed] == scenarios
+
+
+def test_iter_run_resolves_cache_before_consumption(tmp_path):
+    cache = tmp_path / "cache"
+    sweep = _tiny_sweep(4)
+    first = ExperimentRunner(max_workers=1, cache_dir=cache).run(sweep)
+    runner = ExperimentRunner(max_workers=1, cache_dir=cache)
+    stream = runner.iter_run(sweep)
+    # Hits are counted when iter_run is called, not when it is drained.
+    assert runner.last_cache_hits == 4
+    assert ResultSet(list(stream)) == first
+
+
+def test_iter_run_emits_progress_lines():
+    lines = []
+    results = ExperimentRunner(max_workers=1).run(
+        _tiny_sweep(4), progress=lines.append)
+    assert len(lines) == len(results) == 4
+    assert lines[0].startswith("sweep 1/4: ")
+    assert lines[-1].startswith("sweep 4/4: ")
+    assert all("eta" in line and "elapsed" in line for line in lines)
+
+
+def test_run_columnar_matches_run():
+    from repro.experiments import ColumnarResultSet
+
+    scenarios = _tiny_sweep(4).scenarios()
+    columnar = ExperimentRunner(max_workers=1).run_columnar(scenarios)
+    reference = ExperimentRunner(max_workers=1).run(scenarios)
+    assert isinstance(columnar, ColumnarResultSet)
+    assert columnar == reference
+    assert columnar.to_json() == reference.to_json()
+
+
+# ------------------------------------------------------ cache corruption
+def test_corrupt_cache_entry_warns_recomputes_and_rewrites(tmp_path):
+    # Satellite gate: a truncated cache entry is a miss -- re-simulated
+    # and rewritten -- announced by a reason-coded CacheMissWarning.
+    import warnings
+
+    from repro.experiments import CacheMissWarning
+
+    cache = tmp_path / "cache"
+    scenario = Scenario(site="bridge", num_packets=1, seed=9)
+    runner = ExperimentRunner(max_workers=1, cache_dir=cache)
+    first = runner.run([scenario])
+    cache_file = next(cache.glob("*.json"))
+    cache_file.write_text(cache_file.read_text(encoding="utf-8")[:25],
+                          encoding="utf-8")
+    with pytest.warns(CacheMissWarning) as caught:
+        second = runner.run([scenario])
+    assert runner.last_cache_hits == 0
+    assert second == first
+    warning = caught[0].message
+    assert warning.reason == "json-decode"
+    assert warning.path == cache_file
+    assert "ignoring corrupt cache entry" in str(warning)
+    # The rewritten entry must serve cleanly: no warning, one hit.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", CacheMissWarning)
+        third = runner.run([scenario])
+    assert runner.last_cache_hits == 1
+    assert third == first
+
+
+def test_stale_schema_cache_entry_carries_schema_reason(tmp_path):
+    from repro.experiments import CacheMissWarning
+
+    cache = tmp_path / "cache"
+    scenario = Scenario(site="bridge", num_packets=1, seed=9)
+    runner = ExperimentRunner(max_workers=1, cache_dir=cache)
+    runner.run([scenario])
+    cache_file = next(cache.glob("*.json"))
+    data = json.loads(cache_file.read_text(encoding="utf-8"))
+    data[0]["scenario"]["future_field"] = 1
+    cache_file.write_text(json.dumps(data), encoding="utf-8")
+    with pytest.warns(CacheMissWarning) as caught:
+        runner.run([scenario])
+    assert caught[0].message.reason == "schema"
+
+
 def test_scenario_results_survive_pickling():
     """A pickled scenario (what pool workers receive) must simulate
     identically to the original -- catalog substitutions that relied on

@@ -227,10 +227,10 @@ def test_montecarlo_memo_reuses_records_across_figures(monkeypatch):
     real_runner = mc_module.ExperimentRunner
 
     class CountingRunner(real_runner):
-        def run(self, scenarios):
+        def iter_run(self, scenarios, progress=None):
             scenarios = list(scenarios)
             executed.extend(s.scenario_hash() for s in scenarios)
-            return super().run(scenarios)
+            return super().iter_run(scenarios, progress=progress)
 
     monkeypatch.setattr(mc_module, "ExperimentRunner", CountingRunner)
     runner = MonteCarloRunner(trials=1, max_workers=1)
@@ -249,10 +249,10 @@ def test_ab_compare_reuses_runner_memo(monkeypatch):
     real_runner = mc_module.ExperimentRunner
 
     class CountingRunner(real_runner):
-        def run(self, scenarios):
+        def iter_run(self, scenarios, progress=None):
             scenarios = list(scenarios)
             executed.extend(scenarios)
-            return super().run(scenarios)
+            return super().iter_run(scenarios, progress=progress)
 
     monkeypatch.setattr(mc_module, "ExperimentRunner", CountingRunner)
     runner = MonteCarloRunner(trials=1, max_workers=1)
